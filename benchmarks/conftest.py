@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates (a scaled-down version of) one of the paper's
+tables or figures.  The benchmarks default to reduced scales so the whole
+suite finishes on a laptop; set the environment variable
+``REPRO_BENCH_SCALE=full`` to run the paper's exact parameters (expect a
+multi-hour run for the sweep figures).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
+    return {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}.get(
+        name, BENCH_SCALE
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scale used by single-run benchmarks (Fig 3 / Fig 8 scenarios)."""
+    return _selected_scale()
+
+
+@pytest.fixture(scope="session")
+def sweep_scale() -> ExperimentScale:
+    """Smaller scale used by the sweep benchmarks (Figs 9-13, Table 1)."""
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full":
+        return FULL_SCALE
+    return SMOKE_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a workload exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

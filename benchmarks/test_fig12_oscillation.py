@@ -1,0 +1,34 @@
+"""Figure 12 benchmark: oscillation avoidance for CPVF.
+
+Shape to reproduce: enabling avoidance (smaller ``delta``) reduces the
+moving distance, at some cost in coverage.
+"""
+
+import pytest
+
+from repro.experiments.fig12 import format_fig12, run_fig12
+
+from .conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_oscillation_avoidance(benchmark, sweep_scale):
+    rows = run_once(
+        benchmark,
+        run_fig12,
+        sweep_scale,
+        deltas=[None, 2.0, 8.0],
+        modes=["one-step", "two-step"],
+        seed=1,
+    )
+    print()
+    print(format_fig12(rows))
+
+    plain = next(r for r in rows if r.delta is None)
+    one_step_aggressive = next(
+        r for r in rows if r.mode == "one-step" and r.delta == 2.0
+    )
+    # Aggressive avoidance reduces the moving distance.
+    assert one_step_aggressive.average_moving_distance <= plain.average_moving_distance + 1e-6
+    # Every configuration still produces usable coverage.
+    assert all(r.coverage > 0.0 for r in rows)

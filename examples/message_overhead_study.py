@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Message-overhead study: how FLOOR's traffic scales with the invitation TTL.
+
+Table 1 of the paper counts the protocol messages FLOOR transmits during a
+deployment, for different network sizes and invitation random-walk TTLs.
+This example performs a reduced sweep and prints both the totals and the
+per-type breakdown, showing that invitation walks dominate the traffic and
+that the per-node load stays at a few messages per second.
+
+Run with::
+
+    python examples/message_overhead_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FloorScheme,
+    SimulationConfig,
+    SimulationEngine,
+    World,
+    obstacle_free_field,
+    two_obstacle_field,
+)
+from repro.network import MessageType
+
+FIELD_SIZE = 500.0
+SENSOR_COUNTS = (40, 70)
+TTL_FRACTIONS = (0.1, 0.2, 0.4)
+DURATION = 300.0
+
+
+def run_once(sensor_count: int, ttl: int, with_obstacles: bool, seed: int = 9):
+    config = SimulationConfig(
+        sensor_count=sensor_count,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=DURATION,
+        coverage_resolution=12.5,
+        invitation_ttl=ttl,
+        seed=seed,
+    )
+    field = two_obstacle_field(FIELD_SIZE) if with_obstacles else obstacle_free_field(FIELD_SIZE)
+    world = World.create(config, field)
+    result = SimulationEngine(world, FloorScheme(invitation_ttl=ttl)).run()
+    return result, world
+
+
+def main() -> None:
+    for with_obstacles in (False, True):
+        environment = "two-obstacle" if with_obstacles else "obstacle-free"
+        print(f"=== {environment} environment ===")
+        header = f"{'N':>5s} {'TTL':>5s} {'total msgs':>11s} {'msgs/node':>10s} {'msgs/node/s':>12s} {'coverage':>9s}"
+        print(header)
+        last_world = None
+        for sensor_count in SENSOR_COUNTS:
+            for fraction in TTL_FRACTIONS:
+                ttl = max(1, int(round(fraction * sensor_count)))
+                result, world = run_once(sensor_count, ttl, with_obstacles)
+                last_world = world
+                per_node = result.total_messages / sensor_count
+                print(
+                    f"{sensor_count:>5d} {ttl:>5d} {result.total_messages:>11d}"
+                    f" {per_node:>10.0f} {per_node / DURATION:>12.2f}"
+                    f" {result.final_coverage:>8.1%}"
+                )
+        print()
+        if last_world is not None:
+            print("message breakdown of the last run:")
+            breakdown = sorted(
+                last_world.stats.by_type().items(), key=lambda item: -item[1]
+            )
+            total = last_world.stats.total()
+            for message_type, count in breakdown:
+                share = 100.0 * count / total if total else 0.0
+                print(f"  {message_type.value:<22s} {count:>9d}  ({share:4.1f}%)")
+        print()
+
+    print(
+        "Invitation random walks dominate the overhead and grow linearly with "
+        "the TTL, as in Table 1 of the paper; the per-node rate stays at a few "
+        "short messages per second, well within typical sensor radio budgets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Obstacle-adaptive deployment: CPVF vs FLOOR in the two-obstacle field.
+
+This example reproduces the qualitative story of Figures 3(c) and 8(c) of
+the paper at a reduced scale: in a field whose initial cluster quadrant is
+walled off by two rectangular obstacles, the virtual-force scheme (CPVF)
+struggles to push sensors through the exits, while FLOOR grows coverage
+around the obstacles along floor lines and boundaries.
+
+Run with::
+
+    python examples/obstacle_field_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CPVFScheme,
+    FloorScheme,
+    SimulationConfig,
+    SimulationEngine,
+    World,
+    two_obstacle_field,
+)
+from repro.viz import render_coverage_bar, render_layout
+
+FIELD_SIZE = 600.0
+
+
+def run_scheme(scheme, seed: int = 3):
+    """Run one scheme on the canonical two-obstacle field."""
+    config = SimulationConfig(
+        sensor_count=80,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=400.0,
+        coverage_resolution=12.0,
+        seed=seed,
+    )
+    field = two_obstacle_field(FIELD_SIZE)
+    world = World.create(config, field)
+    result = SimulationEngine(world, scheme, trace_every=100).run()
+    return result, world
+
+
+def main() -> None:
+    print(f"two-obstacle field, {FIELD_SIZE:.0f} x {FIELD_SIZE:.0f} m, 80 sensors\n")
+    results = {}
+    for scheme in (CPVFScheme(), FloorScheme()):
+        result, world = run_scheme(scheme)
+        results[scheme.name] = (result, world)
+        print(f"{scheme.name}:")
+        print(f"  coverage             : {result.final_coverage:.1%}")
+        print(f"  avg moving distance  : {result.average_moving_distance:.1f} m")
+        print(f"  protocol messages    : {result.total_messages}")
+        print(f"  connected at the end : {result.connected}")
+        print()
+
+    print("coverage comparison:")
+    for name, (result, _) in results.items():
+        print(render_coverage_bar(name, result.final_coverage))
+
+    for name, (_, world) in results.items():
+        print()
+        print(f"{name} final layout ('#' obstacle, '*' sensor, 'o' covered):")
+        print(
+            render_layout(
+                world.field,
+                world.positions(),
+                world.config.sensing_range,
+                width=60,
+                base_station=world.base_station,
+            )
+        )
+
+    floor_cov = results["FLOOR"][0].final_coverage
+    cpvf_cov = results["CPVF"][0].final_coverage
+    print()
+    if floor_cov > cpvf_cov:
+        print(
+            f"FLOOR covered {floor_cov - cpvf_cov:+.1%} more of the field than CPVF, "
+            "matching the paper's obstacle-adaptivity claim."
+        )
+    else:
+        print(
+            "At this reduced scale CPVF kept up with FLOOR; at the paper's full "
+            "scale (1000 m field, 240 sensors) the gap widens to ~2x."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy a mobile sensor network with FLOOR and inspect it.
+
+This example runs the FLOOR scheme on a small obstacle-free field, prints
+the headline metrics (coverage, moving distance, protocol messages) and
+renders the final layout as ASCII art.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FloorScheme,
+    SimulationConfig,
+    SimulationEngine,
+    World,
+    obstacle_free_field,
+)
+from repro.metrics import summarize_sensor_distances
+from repro.viz import render_coverage_bar, render_layout
+
+
+def main() -> None:
+    # 1. Describe the deployment: 60 sensors, rc = 60 m, rs = 40 m, starting
+    #    clustered in the lower-left quadrant of a 500 x 500 m field.
+    config = SimulationConfig(
+        sensor_count=60,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=300.0,
+        coverage_resolution=10.0,
+        seed=7,
+    )
+    field = obstacle_free_field(500.0)
+
+    # 2. Build the world and run the FLOOR scheme for the whole horizon.
+    world = World.create(config, field)
+    initial_coverage = world.coverage()
+    engine = SimulationEngine(world, FloorScheme(), trace_every=50)
+    result = engine.run()
+
+    # 3. Report what happened.
+    print("FLOOR deployment finished")
+    print(f"  periods executed     : {result.periods_executed}")
+    print(f"  initial coverage     : {initial_coverage:.1%}")
+    print(f"  final coverage       : {result.final_coverage:.1%}")
+    print(f"  network connected    : {result.connected}")
+    print(f"  protocol messages    : {result.total_messages}")
+    distances = summarize_sensor_distances(world.sensors)
+    print(
+        "  moving distance (m)  : "
+        f"avg={distances.average:.1f}, median={distances.median:.1f}, max={distances.maximum:.1f}"
+    )
+
+    print()
+    print("coverage over time:")
+    for record in result.trace:
+        print(f"  t={record.time:5.0f}s  coverage={record.coverage:.1%}")
+
+    print()
+    print(render_coverage_bar("initial", initial_coverage))
+    print(render_coverage_bar("FLOOR", result.final_coverage))
+    print()
+    print("final layout ('*' sensor, 'o' covered, '.' uncovered, 'B' base station):")
+    print(
+        render_layout(
+            world.field,
+            world.positions(),
+            config.sensing_range,
+            width=60,
+            base_station=world.base_station,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — reproduction of "Connectivity-Guaranteed and Obstacle-Adaptive
+Deployment Schemes for Mobile Sensor Networks" (Tan, Jarvis, Kermarrec).
+
+The package is organised bottom-up:
+
+* :mod:`repro.geometry`, :mod:`repro.field`, :mod:`repro.voronoi`,
+  :mod:`repro.mobility`, :mod:`repro.network`, :mod:`repro.sensors`,
+  :mod:`repro.sim` — the substrates (geometry, field/obstacle model,
+  Voronoi diagrams, BUG2 path planning, unit-disk radio and connectivity
+  tree, period-synchronous simulation engine);
+* :mod:`repro.core` — the paper's contribution: the CPVF and FLOOR
+  deployment schemes and their building blocks;
+* :mod:`repro.baselines`, :mod:`repro.assignment` — the evaluation
+  baselines (OPT strip pattern, VOR, Minimax, Hungarian bounds);
+* :mod:`repro.metrics`, :mod:`repro.experiments`, :mod:`repro.viz` — the
+  evaluation machinery reproducing every table and figure of the paper.
+
+Quick start::
+
+    from repro import SimulationConfig, SimulationEngine, World
+    from repro import FloorScheme, obstacle_free_field
+
+    config = SimulationConfig(sensor_count=60, duration=200.0)
+    world = World.create(config, obstacle_free_field(500.0))
+    result = SimulationEngine(world, FloorScheme()).run()
+    print(f"coverage: {result.final_coverage:.1%}")
+"""
+
+from .geometry import Circle, Polygon, Segment, Vec2
+from .field import (
+    Field,
+    Obstacle,
+    corridor_field,
+    generate_random_obstacle_field,
+    obstacle_free_field,
+    two_obstacle_field,
+)
+from .mobility import Bug2Planner, Bug2Path, Handedness, MotionModel
+from .network import ConnectivityTree, MessageStats, MessageType, Radio
+from .sensors import Sensor, SensorState
+from .sim import (
+    DeploymentScheme,
+    SimulationConfig,
+    SimulationEngine,
+    SimulationResult,
+    World,
+)
+from .core import (
+    CPVFScheme,
+    FloorGeometry,
+    FloorScheme,
+    OscillationAvoidance,
+    VirtualForceModel,
+)
+from .baselines import MinimaxScheme, OptStripPattern, VorScheme, explode
+from .assignment import hungarian, minimum_distance_matching
+from .metrics import (
+    EmpiricalCDF,
+    coverage_fraction,
+    coverage_report,
+    positions_are_connected,
+    summarize_sensor_distances,
+)
+from .voronoi import VoronoiDiagram, diagram_is_correct
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circle",
+    "Polygon",
+    "Segment",
+    "Vec2",
+    "Field",
+    "Obstacle",
+    "corridor_field",
+    "generate_random_obstacle_field",
+    "obstacle_free_field",
+    "two_obstacle_field",
+    "Bug2Planner",
+    "Bug2Path",
+    "Handedness",
+    "MotionModel",
+    "ConnectivityTree",
+    "MessageStats",
+    "MessageType",
+    "Radio",
+    "Sensor",
+    "SensorState",
+    "DeploymentScheme",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "World",
+    "CPVFScheme",
+    "FloorGeometry",
+    "FloorScheme",
+    "OscillationAvoidance",
+    "VirtualForceModel",
+    "MinimaxScheme",
+    "OptStripPattern",
+    "VorScheme",
+    "explode",
+    "hungarian",
+    "minimum_distance_matching",
+    "EmpiricalCDF",
+    "coverage_fraction",
+    "coverage_report",
+    "positions_are_connected",
+    "summarize_sensor_distances",
+    "VoronoiDiagram",
+    "diagram_is_correct",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Minimum-cost assignment (Hungarian algorithm)."""
+
+from .hungarian import assignment_cost, hungarian, minimum_distance_matching
+
+__all__ = ["assignment_cost", "hungarian", "minimum_distance_matching"]

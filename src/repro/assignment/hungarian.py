@@ -1,0 +1,129 @@
+"""The Hungarian algorithm for minimum-cost assignment.
+
+The paper uses minimum weighted bipartite matching twice in its moving-
+distance evaluation (Section 6.2): to compute the cheapest "explosion"
+dispersal for VOR/Minimax and to compute lower bounds on the moving
+distance needed to reach the OPT pattern or FLOOR's own final layout.
+
+This is a from-scratch O(n^3) implementation (shortest augmenting paths
+with dual potentials, a.k.a. the Jonker–Volgenant formulation of the
+Hungarian method).  It supports rectangular cost matrices with
+``rows <= cols``; tests cross-check it against
+``scipy.optimize.linear_sum_assignment``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["hungarian", "assignment_cost", "minimum_distance_matching"]
+
+
+def hungarian(cost_matrix: Sequence[Sequence[float]]) -> List[int]:
+    """Solve the minimum-cost assignment problem.
+
+    Parameters
+    ----------
+    cost_matrix:
+        A rows x cols matrix with ``rows <= cols``; entry ``[i][j]`` is the
+        cost of assigning row ``i`` to column ``j``.
+
+    Returns
+    -------
+    list of int
+        ``assignment[i]`` is the column assigned to row ``i``.  Every row is
+        assigned and no column is used twice.
+    """
+    cost = np.asarray(cost_matrix, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError("cost matrix must be two-dimensional")
+    n, m = cost.shape
+    if n == 0:
+        return []
+    if n > m:
+        raise ValueError("hungarian() requires rows <= cols; transpose the input")
+    if not np.isfinite(cost).all():
+        raise ValueError("cost matrix must be finite")
+
+    INF = math.inf
+    # Potentials and matching arrays use 1-based indexing internally, with
+    # index 0 as the artificial root of each augmenting search.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    # way[j] = previous column on the shortest augmenting path to column j.
+    match = [0] * (m + 1)  # match[j] = row matched to column j (0 = free)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        minv = [INF] * (m + 1)
+        used = [False] * (m + 1)
+        way = [0] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = INF
+            j1 = -1
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # Augment along the path found.
+        while j0 != 0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if match[j] != 0:
+            assignment[match[j] - 1] = j - 1
+    return assignment
+
+
+def assignment_cost(
+    cost_matrix: Sequence[Sequence[float]], assignment: Sequence[int]
+) -> float:
+    """Total cost of an assignment produced by :func:`hungarian`."""
+    cost = np.asarray(cost_matrix, dtype=float)
+    return float(sum(cost[i][j] for i, j in enumerate(assignment)))
+
+
+def minimum_distance_matching(
+    sources: Sequence[Tuple[float, float]],
+    targets: Sequence[Tuple[float, float]],
+) -> Tuple[List[int], float]:
+    """Match sources to targets minimising total Euclidean distance.
+
+    Returns ``(assignment, total_distance)`` where ``assignment[i]`` is the
+    target index assigned to source ``i``.  Requires
+    ``len(sources) <= len(targets)``.
+    """
+    if len(sources) > len(targets):
+        raise ValueError("need at least as many targets as sources")
+    if not sources:
+        return [], 0.0
+    src = np.asarray(sources, dtype=float)
+    dst = np.asarray(targets, dtype=float)
+    diff = src[:, None, :] - dst[None, :, :]
+    cost = np.sqrt((diff**2).sum(axis=2))
+    assignment = hungarian(cost)
+    return assignment, assignment_cost(cost, assignment)

@@ -1,0 +1,163 @@
+"""The Voronoi-diagram based baselines VOR and Minimax (Wang et al., INFOCOM'04).
+
+Both schemes are round-based and *connectivity-ignorant*: in every round each
+sensor constructs its Voronoi cell from the neighbours it can hear (i.e. the
+ones within communication range — which is why small ``rc/rs`` yields
+incorrect cells, Fig 1/10 of the paper) and then moves:
+
+* **VOR** — toward its farthest Voronoi vertex, stopping when its sensing
+  range reaches that vertex, and never moving more than ``rc / 2`` in one
+  round;
+* **Minimax** — to the point of its cell minimising the distance to its
+  farthest Voronoi vertex (the centre of the minimum enclosing circle of the
+  cell's vertices).
+
+The implementations operate directly on position lists (they are not
+period-based like CPVF/FLOOR); the experiment harness combines them with
+the explosion procedure of :mod:`repro.baselines.explosion` when the initial
+distribution is clustered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..field import Field
+from ..geometry import Vec2
+from ..voronoi import compute_cell
+from ..voronoi.local import local_cell
+
+__all__ = ["VDSchemeResult", "VorScheme", "MinimaxScheme"]
+
+
+@dataclass
+class VDSchemeResult:
+    """Outcome of running a VD-based scheme for a number of rounds."""
+
+    final_positions: List[Vec2]
+    per_sensor_distance: List[float]
+    rounds_executed: int
+
+    @property
+    def total_distance(self) -> float:
+        """Sum of all sensors' travelled distances."""
+        return sum(self.per_sensor_distance)
+
+    @property
+    def average_distance(self) -> float:
+        """Average travelled distance per sensor."""
+        if not self.per_sensor_distance:
+            return 0.0
+        return self.total_distance / len(self.per_sensor_distance)
+
+
+class _VDSchemeBase:
+    """Shared round loop of the two VD-based schemes."""
+
+    name = "VD"
+
+    def __init__(
+        self,
+        field: Field,
+        communication_range: float,
+        sensing_range: float,
+        use_local_cells: bool = True,
+    ):
+        """``use_local_cells`` restricts cell construction to neighbours
+        within ``rc`` (the realistic setting); disable it to study the
+        idealised full-information variant."""
+        self._field = field
+        self._rc = communication_range
+        self._rs = sensing_range
+        self._use_local_cells = use_local_cells
+
+    # ------------------------------------------------------------------
+    # Per-sensor move target (scheme-specific)
+    # ------------------------------------------------------------------
+    def _move_target(self, cell, position: Vec2) -> Optional[Vec2]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Round loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_positions: Sequence[Vec2],
+        rounds: int = 10,
+        movement_tolerance: float = 1e-3,
+    ) -> VDSchemeResult:
+        """Run the scheme for up to ``rounds`` rounds.
+
+        Stops early when no sensor moves more than ``movement_tolerance`` in
+        a round (the layout has stabilised).
+        """
+        positions = [self._field.nearest_free(p) for p in initial_positions]
+        distances = [0.0] * len(positions)
+        executed = 0
+        bounding = self._field.boundary_polygon()
+
+        for _ in range(rounds):
+            executed += 1
+            new_positions = list(positions)
+            moved = 0.0
+            for i, position in enumerate(positions):
+                if self._use_local_cells:
+                    cell = local_cell(i, positions, self._rc, self._field)
+                else:
+                    others = [p for j, p in enumerate(positions) if j != i]
+                    cell = compute_cell(position, others, bounding)
+                target = self._move_target(cell, position)
+                if target is None:
+                    continue
+                target = self._field.nearest_free(self._field.clamp(target))
+                step = position.distance_to(target)
+                if step <= movement_tolerance:
+                    continue
+                new_positions[i] = target
+                distances[i] += step
+                moved = max(moved, step)
+            positions = new_positions
+            if moved <= movement_tolerance:
+                break
+        return VDSchemeResult(
+            final_positions=positions,
+            per_sensor_distance=distances,
+            rounds_executed=executed,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def coverage(self, positions: Sequence[Vec2], resolution: float = 10.0) -> float:
+        """Coverage fraction of a position snapshot."""
+        return self._field.coverage_fraction(positions, self._rs, resolution)
+
+
+class VorScheme(_VDSchemeBase):
+    """The VOR baseline: move toward the farthest Voronoi vertex."""
+
+    name = "VOR"
+
+    def _move_target(self, cell, position: Vec2) -> Optional[Vec2]:
+        farthest = cell.farthest_vertex()
+        if farthest is None:
+            return None
+        distance_to_vertex = position.distance_to(farthest)
+        if distance_to_vertex <= self._rs:
+            # The farthest vertex is already sensed; no move needed.
+            return None
+        # Move so that the sensing range just reaches the vertex, but no
+        # farther than rc / 2 per round.
+        desired = distance_to_vertex - self._rs
+        step = min(desired, self._rc / 2.0)
+        return position + position.towards(farthest) * step
+
+
+class MinimaxScheme(_VDSchemeBase):
+    """The Minimax baseline: move to the cell's minimax point."""
+
+    name = "Minimax"
+
+    def _move_target(self, cell, position: Vec2) -> Optional[Vec2]:
+        return cell.minimax_point()

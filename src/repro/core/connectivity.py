@@ -1,0 +1,107 @@
+"""Connectivity-preserving step-size selection (CPVF, Section 4.2).
+
+Before moving, a CPVF sensor checks that its planned step does not break the
+link to any connection it must maintain (its tree parent and children).  The
+paper states two *connectivity preserving conditions* for a planned move of
+sensor ``s`` relative to a neighbour ``s'`` whose own period ends at ``t'``:
+
+1. the distance between ``s`` and ``s'`` at time ``t'`` is no greater than
+   ``rc``; and
+2. the distance between ``s'``'s position at ``t'`` and ``s``'s position at
+   ``t + T`` is no greater than ``rc``.
+
+Appendix A proves that when both endpoints of the two straight-line moves
+are within ``rc``, every intermediate pair of positions is too.  In the
+period-synchronous engine the neighbour's end-of-period position is known
+(its current position when it is not moving, or its own planned endpoint),
+so the conditions reduce to endpoint distance checks, which is exactly what
+:func:`max_valid_step` evaluates over a ladder of candidate step sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..geometry import Vec2
+
+__all__ = ["NeighborMotion", "step_is_valid", "max_valid_step", "STEP_FRACTIONS"]
+
+#: Candidate step-size fractions examined by a sensor, mirroring the paper's
+#: example ladder ``V*T, 0.9*V*T, ..., 0.1*V*T, 0``.
+STEP_FRACTIONS = tuple(round(1.0 - 0.1 * i, 1) for i in range(11))
+
+
+@dataclass(frozen=True)
+class NeighborMotion:
+    """What a sensor knows about a neighbour it must stay connected to.
+
+    ``current`` is the neighbour's position now (time ``t``) and
+    ``planned_end`` its position at the end of its own period (``t'``); for
+    a stationary neighbour the two coincide.
+    """
+
+    current: Vec2
+    planned_end: Vec2
+
+    @staticmethod
+    def stationary(position: Vec2) -> "NeighborMotion":
+        """A neighbour that is not moving this period."""
+        return NeighborMotion(position, position)
+
+
+def step_is_valid(
+    start: Vec2,
+    end: Vec2,
+    neighbors: Iterable[NeighborMotion],
+    communication_range: float,
+) -> bool:
+    """Whether moving ``start -> end`` keeps every required link alive.
+
+    Checks the two connectivity-preserving conditions against every
+    neighbour the sensor needs to retain.
+    """
+    for nb in neighbors:
+        # Condition 1: at the neighbour's period end the link still holds
+        # (our position is somewhere on [start, end]; by convexity it is
+        # enough that both endpoints are within range of nb's endpoint and
+        # start point — see Appendix A).
+        if start.distance_to(nb.planned_end) > communication_range + 1e-9:
+            return False
+        # Condition 2: our end-of-period position is within range of the
+        # neighbour's end-of-period position.
+        if end.distance_to(nb.planned_end) > communication_range + 1e-9:
+            return False
+        # Also keep range with the neighbour's current position, covering
+        # the case where the neighbour cancels its own move.
+        if end.distance_to(nb.current) > communication_range + 1e-9:
+            return False
+    return True
+
+
+def max_valid_step(
+    position: Vec2,
+    direction: Vec2,
+    max_step: float,
+    neighbors: Sequence[NeighborMotion],
+    communication_range: float,
+    fractions: Sequence[float] = STEP_FRACTIONS,
+) -> float:
+    """Largest admissible step size along ``direction``.
+
+    Tries the candidate fractions of ``max_step`` from largest to smallest
+    and returns the first one that satisfies the connectivity-preserving
+    conditions for every required neighbour; returns ``0`` if even the
+    smallest non-zero candidate is invalid.
+    """
+    unit = direction.normalized()
+    if unit.norm() == 0.0 or max_step <= 0.0:
+        return 0.0
+    for fraction in fractions:
+        step = fraction * max_step
+        if step <= 0.0:
+            return 0.0
+        end = position + unit * step
+        if step_is_valid(position, end, neighbors, communication_range):
+            return step
+    return 0.0

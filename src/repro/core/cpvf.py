@@ -1,0 +1,327 @@
+"""The Connectivity-Preserved Virtual Force (CPVF) scheme (Section 4).
+
+CPVF proceeds in two stages that in practice overlap in time:
+
+1. **Achieving connectivity** — sensors in the immediate vicinity of the
+   base station learn they are connected via a network flood; every other
+   sensor walks toward the base station with BUG2 (right-hand rule) under
+   the lazy-movement strategy, stopping as soon as it enters the
+   communication range of a connected sensor, which becomes its tree parent.
+2. **Maximising coverage** — connected sensors move under virtual forces.
+   The force only chooses the *direction*; the step size is the largest
+   candidate satisfying the connectivity-preserving conditions with respect
+   to the sensor's tree parent and children.  A sensor that cannot move at
+   all under its current parent may attempt to change parent, which requires
+   locking its subtree (LockTree / UnLockTree) to avoid creating loops.
+
+Optionally, the one-step or two-step oscillation-avoidance rule of
+Section 6.3 suppresses unproductive movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..field import Field
+from ..geometry import Segment, Vec2
+from ..mobility import Bug2Planner, Handedness
+from ..network import BASE_STATION_ID, MessageType
+from ..sensors import Sensor, SensorState
+from ..sim import DeploymentScheme, World
+from .connectivity import NeighborMotion, max_valid_step
+from .lazy import LazyMovementController
+from .oscillation import OscillationAvoidance, OscillationMode
+from .virtual_force import VirtualForceModel
+
+__all__ = ["CPVFScheme"]
+
+
+class CPVFScheme(DeploymentScheme):
+    """Connectivity-Preserved Virtual Force deployment."""
+
+    name = "CPVF"
+
+    def __init__(
+        self,
+        allow_parent_change: bool = True,
+        oscillation_delta: Optional[float] = None,
+        oscillation_mode: str = "one-step",
+        repulsion_distance: Optional[float] = None,
+    ):
+        """Create the scheme.
+
+        Parameters
+        ----------
+        allow_parent_change:
+            Whether a sensor blocked by its current parent may re-parent
+            (the paper found this gives sensors more freedom to explore).
+        oscillation_delta / oscillation_mode:
+            Oscillation-avoidance factor and rule (Section 6.3); ``None``
+            disables avoidance, which is the paper's default CPVF.
+        repulsion_distance:
+            Pairwise repulsion threshold for the virtual forces; defaults to
+            ``2 * rs`` of the simulated sensors.
+        """
+        self._allow_parent_change = allow_parent_change
+        self._oscillation_delta = oscillation_delta
+        self._oscillation_mode = OscillationMode.from_string(oscillation_mode)
+        self._repulsion_distance = repulsion_distance
+        self._planner: Optional[Bug2Planner] = None
+        self._forces: Optional[VirtualForceModel] = None
+        self._lazy: Optional[LazyMovementController] = None
+        self._avoidance: Optional[OscillationAvoidance] = None
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def initialize(self, world: World) -> None:
+        config = world.config
+        self._planner = Bug2Planner(world.field, Handedness.RIGHT)
+        repulsion = (
+            self._repulsion_distance
+            if self._repulsion_distance is not None
+            else 2.0 * config.sensing_range
+        )
+        self._forces = VirtualForceModel(
+            repulsion_distance=repulsion,
+            obstacle_distance=config.sensing_range,
+        )
+        self._lazy = LazyMovementController(world.routing)
+        self._avoidance = OscillationAvoidance(
+            max_step=config.max_step,
+            delta=self._oscillation_delta,
+            mode=self._oscillation_mode,
+        )
+        self._bootstrap_connectivity(world)
+        for sensor in world.sensors:
+            if sensor.state is SensorState.DISCONNECTED:
+                sensor.state = SensorState.MOVING_TO_CONNECT
+                path = self._planner.plan(sensor.position, world.base_station)
+                sensor.motion.follow(path)
+
+    def _bootstrap_connectivity(self, world: World) -> None:
+        """Initial flood: the connected component of the base station joins
+        the tree; everyone else learns it is disconnected."""
+        component = world.radio.connected_component_of(
+            world.sensors, world.base_station, world.config.communication_range
+        )
+        # Build the tree breadth-first from the base station so that parents
+        # are always closer (in hops) to the root.
+        table = world.neighbor_table()
+        near_base = set(world.sensors_near_base_station())
+        frontier: List[int] = []
+        for sid in sorted(near_base):
+            world.attach_to_tree(sid, BASE_STATION_ID)
+            frontier.append(sid)
+        attached = set(near_base)
+        while frontier:
+            current = frontier.pop(0)
+            for nb in table.get(current, []):
+                if nb in attached or nb not in component:
+                    continue
+                world.attach_to_tree(nb, current)
+                attached.add(nb)
+                frontier.append(nb)
+        world.routing.record_flood(len(attached))
+
+    # ------------------------------------------------------------------
+    # Per-period execution
+    # ------------------------------------------------------------------
+    def step(self, world: World) -> None:
+        assert self._planner is not None and self._forces is not None
+        assert self._lazy is not None and self._avoidance is not None
+        table = world.neighbor_table()
+        self._connect_reachable_sensors(world, table)
+        self._advance_disconnected_sensors(world, table)
+        self._apply_virtual_forces(world, table)
+
+    # -- Stage 1: establishing connectivity ----------------------------
+    def _connect_reachable_sensors(
+        self, world: World, table: Dict[int, List[int]]
+    ) -> None:
+        """Disconnected sensors adjacent to the tree join it and stop."""
+        newly_connected = True
+        while newly_connected:
+            newly_connected = False
+            for sensor in world.sensors:
+                if sensor.is_connected():
+                    continue
+                parent_id = self._closest_connected_neighbor(world, sensor, table)
+                if parent_id is None:
+                    continue
+                sensor.motion.stop()
+                assert self._lazy is not None
+                self._lazy.stop_waiting(sensor)
+                world.attach_to_tree(sensor.sensor_id, parent_id)
+                sensor.state = SensorState.CONNECTED
+                newly_connected = True
+
+    def _closest_connected_neighbor(
+        self, world: World, sensor: Sensor, table: Dict[int, List[int]]
+    ) -> Optional[int]:
+        """The nearest connected node (sensor or base station) in range."""
+        best: Optional[int] = None
+        best_dist = float("inf")
+        base_dist = sensor.position.distance_to(world.base_station)
+        if base_dist <= world.config.communication_range:
+            best, best_dist = BASE_STATION_ID, base_dist
+        for nb_id in table.get(sensor.sensor_id, []):
+            nb = world.sensor(nb_id)
+            if not nb.is_connected():
+                continue
+            dist = sensor.position.distance_to(nb.position)
+            if dist < best_dist:
+                best, best_dist = nb_id, dist
+        return best
+
+    def _advance_disconnected_sensors(
+        self, world: World, table: Dict[int, List[int]]
+    ) -> None:
+        """Disconnected sensors walk toward the base station (lazily)."""
+        assert self._lazy is not None and self._planner is not None
+        for sensor in world.sensors:
+            if sensor.is_connected():
+                continue
+            neighbors = [
+                world.sensor(n)
+                for n in table.get(sensor.sensor_id, [])
+                if not world.sensor(n).is_connected()
+            ]
+            planner = self._planner
+            self._lazy.advance_toward_connection(
+                sensor,
+                world.base_station,
+                neighbors,
+                lambda s=sensor: planner.plan(s.position, world.base_station),
+            )
+
+    # -- Stage 2: virtual-force coverage maximisation -------------------
+    def _apply_virtual_forces(
+        self, world: World, table: Dict[int, List[int]]
+    ) -> None:
+        assert self._forces is not None and self._avoidance is not None
+        config = world.config
+        for sensor in world.sensors:
+            if not sensor.is_connected():
+                continue
+            neighbor_ids = table.get(sensor.sensor_id, [])
+            neighbor_positions = [world.sensor(n).position for n in neighbor_ids]
+            direction = self._forces.direction(
+                sensor.position, neighbor_positions, world.field
+            )
+            if direction.norm() == 0.0:
+                sensor.previous_position = sensor.position
+                continue
+
+            required = self._required_neighbors(world, sensor)
+            # Each required link costs one state-exchange message before the
+            # step-size decision (Section 4.2).
+            if required:
+                world.routing.record_one_hop(
+                    MessageType.NEIGHBOR_STATE, len(required)
+                )
+            step = max_valid_step(
+                sensor.position,
+                direction,
+                config.max_step,
+                required,
+                config.communication_range,
+            )
+
+            if step <= 0.0 and self._allow_parent_change:
+                step = self._try_parent_change(world, sensor, direction, table)
+
+            if step <= 0.0:
+                sensor.previous_position = sensor.position
+                continue
+
+            # Respect obstacles and the field boundary.
+            step = world.field.max_free_travel(sensor.position, direction, step)
+            planned_end = sensor.position + direction.normalized() * step
+            previous = sensor.previous_position
+            if self._avoidance.should_cancel(
+                step, sensor.position, planned_end, previous
+            ):
+                sensor.previous_position = sensor.position
+                continue
+            sensor.previous_position = sensor.position
+            sensor.motion.move_to(planned_end)
+
+    def _required_neighbors(
+        self, world: World, sensor: Sensor
+    ) -> List[NeighborMotion]:
+        """Connections the sensor must preserve: its parent and children."""
+        required: List[NeighborMotion] = []
+        parent = world.tree.parent_of(sensor.sensor_id)
+        if parent is not None and parent != BASE_STATION_ID:
+            required.append(NeighborMotion.stationary(world.sensor(parent).position))
+        elif parent == BASE_STATION_ID:
+            required.append(NeighborMotion.stationary(world.base_station))
+        for child in world.tree.children_of(sensor.sensor_id):
+            required.append(NeighborMotion.stationary(world.sensor(child).position))
+        return required
+
+    def _try_parent_change(
+        self,
+        world: World,
+        sensor: Sensor,
+        direction: Vec2,
+        table: Dict[int, List[int]],
+    ) -> float:
+        """Attempt to adopt a new parent that unblocks the planned move.
+
+        The sensor must lock its subtree first (accounted as LockTree /
+        UnLockTree transmissions); candidate parents are connected
+        neighbours outside the sensor's own subtree.  Returns the step size
+        achievable under the best new parent (0 when none helps).
+        """
+        config = world.config
+        subtree = world.tree.subtree_of(sensor.sensor_id)
+        candidates: List[int] = []
+        base_dist = sensor.position.distance_to(world.base_station)
+        if base_dist <= config.communication_range:
+            candidates.append(BASE_STATION_ID)
+        for nb_id in table.get(sensor.sensor_id, []):
+            nb = world.sensor(nb_id)
+            if nb.is_connected() and nb_id not in subtree:
+                candidates.append(nb_id)
+        if not candidates:
+            return 0.0
+
+        world.routing.record_subtree_lock(world.tree, sensor.sensor_id)
+
+        children_motions = [
+            NeighborMotion.stationary(world.sensor(c).position)
+            for c in world.tree.children_of(sensor.sensor_id)
+        ]
+        best_step = 0.0
+        best_parent: Optional[int] = None
+        for candidate in candidates:
+            parent_pos = (
+                world.base_station
+                if candidate == BASE_STATION_ID
+                else world.sensor(candidate).position
+            )
+            required = children_motions + [NeighborMotion.stationary(parent_pos)]
+            step = max_valid_step(
+                sensor.position,
+                direction,
+                config.max_step,
+                required,
+                config.communication_range,
+            )
+            if step > best_step:
+                best_step = step
+                best_parent = candidate
+        if best_parent is not None and best_step > 0.0:
+            world.reparent_in_tree(sensor.sensor_id, best_parent)
+            return best_step
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Convergence
+    # ------------------------------------------------------------------
+    def has_converged(self, world: World) -> bool:
+        """CPVF does not converge reliably (Section 4.4); run the horizon."""
+        return False

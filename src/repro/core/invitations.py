@@ -1,0 +1,128 @@
+"""The invitation protocol of FLOOR (Section 5.5.2 / Algorithm 2).
+
+Fixed sensors that found an uncovered expansion point advertise it with an
+``Invitation`` message that performs a TTL-bounded random walk through the
+connected network.  Movable sensors collect the invitations they happen to
+receive, pick the highest-priority one (smallest Euclidean distance breaking
+ties), and answer with ``AcceptInvitation``; the inviter acknowledges the
+first acceptance, installs a *virtual fixed node* at the EP so other
+searches treat it as covered, and updates its ancestors' location records.
+
+The period-synchronous simulator resolves one invitation round per period:
+each advertised EP performs its random walk (every connected sensor is
+reached with probability ``TTL / N_connected``, the expected reach of a
+uniform random walk of ``TTL`` hops), the reached movable sensors choose
+among the offers they saw, and conflicts are resolved first-come
+first-served exactly as the acknowledgement rule does.  All message costs —
+``Invitation`` walks, acceptances, acknowledgements and location updates —
+are charged to the routing model so the Table 1 reproduction sees the same
+traffic a distributed run would generate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network import ConnectivityTree, MessageType, RoutingCostModel
+from ..sensors import Sensor
+from .expansion import ExpansionPoint
+
+__all__ = ["InvitationAssignment", "InvitationProtocol"]
+
+
+@dataclass(frozen=True)
+class InvitationAssignment:
+    """A movable sensor accepted an invitation to an expansion point."""
+
+    movable_id: int
+    expansion_point: ExpansionPoint
+
+
+@dataclass
+class InvitationProtocol:
+    """Runs one invitation round per simulation period."""
+
+    routing: RoutingCostModel
+    ttl: int
+    rng: random.Random
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        expansion_points: Sequence[ExpansionPoint],
+        movable_sensors: Sequence[Sensor],
+        connected_count: int,
+        tree: ConnectivityTree,
+    ) -> List[InvitationAssignment]:
+        """Match advertised EPs with movable sensors for this period.
+
+        Every EP is advertised (its random-walk cost is charged regardless
+        of whether anyone answers, which is what dominates FLOOR's message
+        overhead).  Returns the accepted assignments; each movable sensor
+        and each EP appears at most once.
+        """
+        if not expansion_points:
+            return []
+
+        # 1. Every advertised EP pays for its TTL-bounded random walk.
+        for _ in expansion_points:
+            self.routing.record_random_walk(self.ttl, MessageType.INVITATION)
+
+        if not movable_sensors or connected_count <= 0:
+            return []
+
+        # 2. Determine which movable sensors each invitation reached.
+        reach_probability = min(1.0, self.ttl / max(1, connected_count))
+        received: Dict[int, List[ExpansionPoint]] = {}
+        for ep in expansion_points:
+            for sensor in movable_sensors:
+                if self.rng.random() <= reach_probability:
+                    received.setdefault(sensor.sensor_id, []).append(ep)
+
+        # 3. Each movable sensor picks its best offer and tries to accept it.
+        movable_by_id = {s.sensor_id: s for s in movable_sensors}
+        acceptances: List[Tuple[int, ExpansionPoint]] = []
+        for movable_id, offers in received.items():
+            sensor = movable_by_id[movable_id]
+            best = min(
+                offers,
+                key=lambda ep: (
+                    int(ep.kind),
+                    sensor.position.distance_to(ep.position),
+                ),
+            )
+            acceptances.append((movable_id, best))
+            # AcceptInvitation travels back to the inviter over the tree.
+            self.routing.record_tree_unicast(
+                tree, movable_id, best.owner_id, MessageType.ACCEPT_INVITATION
+            )
+
+        # 4. Inviters acknowledge the first acceptance per EP; later ones are
+        #    rejected (their senders will simply try again next period).
+        assignments: List[InvitationAssignment] = []
+        taken_eps: set = set()
+        assigned_sensors: set = set()
+        # Deterministic processing order: by EP priority, then sensor id.
+        acceptances.sort(
+            key=lambda item: (item[1].priority_key(), item[0])
+        )
+        for movable_id, ep in acceptances:
+            ep_key = (ep.owner_id, round(ep.position.x, 6), round(ep.position.y, 6))
+            self.routing.record_tree_unicast(
+                tree, ep.owner_id, movable_id, MessageType.ACKNOWLEDGE
+            )
+            if ep_key in taken_eps or movable_id in assigned_sensors:
+                continue
+            taken_eps.add(ep_key)
+            assigned_sensors.add(movable_id)
+            assignments.append(InvitationAssignment(movable_id, ep))
+            # The inviter installs a virtual fixed node and updates its
+            # ancestors' location information up to the root.
+            self.routing.record_to_base_station(
+                tree, ep.owner_id, MessageType.LOCATION_UPDATE
+            )
+        return assignments

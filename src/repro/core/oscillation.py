@@ -1,0 +1,94 @@
+"""Oscillation-avoidance techniques for CPVF (Section 6.3).
+
+Virtual-force deployments tend to oscillate: sensors move back and forth
+under constantly changing neighbour forces, wasting energy without
+improving coverage.  The paper studies two countermeasures parameterised by
+an *oscillation avoidance factor* ``delta``:
+
+* **one-step avoidance** — cancel the next step when its size would be
+  smaller than ``V*T / delta`` (suppress small perturbations);
+* **two-step avoidance** — cancel the next step when the sensor's position
+  at the end of the next step would be within ``V*T / delta`` of its
+  position at the end of the *previous* step (suppress back-and-forth
+  moves).
+
+Figure 12 shows the resulting trade-off between moving distance and
+coverage, which :mod:`repro.experiments.fig12` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..geometry import Vec2
+
+__all__ = ["OscillationMode", "OscillationAvoidance"]
+
+
+class OscillationMode(Enum):
+    """Which of the two avoidance rules is applied."""
+
+    ONE_STEP = "one-step"
+    TWO_STEP = "two-step"
+
+    @staticmethod
+    def from_string(value: str) -> "OscillationMode":
+        """Parse a mode name (accepts the paper's hyphenated spelling)."""
+        normalized = value.strip().lower().replace("_", "-")
+        for mode in OscillationMode:
+            if mode.value == normalized:
+                return mode
+        raise ValueError(f"unknown oscillation mode: {value!r}")
+
+
+@dataclass
+class OscillationAvoidance:
+    """Decides whether a planned CPVF step should be cancelled.
+
+    ``delta`` is the oscillation avoidance factor: larger values cancel
+    fewer steps (the threshold ``V*T / delta`` shrinks).  ``delta=None``
+    disables avoidance entirely.
+    """
+
+    max_step: float
+    delta: Optional[float] = None
+    mode: OscillationMode = OscillationMode.ONE_STEP
+
+    def threshold(self) -> float:
+        """The cancellation threshold ``V*T / delta`` (zero when disabled)."""
+        if self.delta is None or self.delta <= 0:
+            return 0.0
+        return self.max_step / self.delta
+
+    def should_cancel(
+        self,
+        planned_step: float,
+        current_position: Vec2,
+        planned_end: Vec2,
+        previous_position: Optional[Vec2],
+    ) -> bool:
+        """Whether the planned step should be cancelled.
+
+        Parameters
+        ----------
+        planned_step:
+            Size of the planned step.
+        current_position:
+            The sensor's position now (end of the previous step).
+        planned_end:
+            Where the planned step would put the sensor.
+        previous_position:
+            The sensor's position at the end of the step *before* the
+            previous one (two-step mode compares against it).
+        """
+        thr = self.threshold()
+        if thr <= 0.0:
+            return False
+        if self.mode is OscillationMode.ONE_STEP:
+            return planned_step < thr
+        # Two-step mode: compare the future location with the past location.
+        if previous_position is None:
+            return False
+        return planned_end.distance_to(previous_position) < thr

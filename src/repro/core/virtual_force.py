@@ -1,0 +1,134 @@
+"""Virtual-force computation.
+
+The virtual-force (VF) method imitates electro-magnetic repulsion: sensors
+that are too close push each other apart, and obstacles and the field
+boundary push sensors away.  In CPVF the force vector is used *only to pick
+the direction* of the next step; the step size is chosen separately under
+the connectivity-preserving conditions (Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..field import Field
+from ..geometry import Vec2
+
+__all__ = ["VirtualForceModel"]
+
+
+@dataclass
+class VirtualForceModel:
+    """Computes the resultant virtual force on a sensor.
+
+    Parameters
+    ----------
+    repulsion_distance:
+        Pairwise distance below which two sensors repel each other.  The
+        natural choice for coverage maximisation is ``2 * rs`` (sensing
+        disks stop overlapping beyond it), which is the library default set
+        by the CPVF scheme.
+    obstacle_distance:
+        Distance below which obstacles and the field boundary repel a
+        sensor; defaults to the sensing range so a sensor reacts only to
+        obstacles it can actually perceive (Section 3.1).
+    sensor_gain / obstacle_gain:
+        Relative strengths of the two force families.  Only the direction of
+        the resultant matters to CPVF, but the gains control how strongly
+        obstacle avoidance competes with dispersion.
+    """
+
+    repulsion_distance: float
+    obstacle_distance: float
+    sensor_gain: float = 1.0
+    obstacle_gain: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Individual force terms
+    # ------------------------------------------------------------------
+    def force_from_sensor(self, position: Vec2, other: Vec2) -> Vec2:
+        """Repulsive force exerted on ``position`` by a neighbour at ``other``.
+
+        Magnitude decreases linearly from ``sensor_gain`` at distance zero to
+        zero at ``repulsion_distance``; zero beyond it.
+        """
+        delta = position - other
+        dist = delta.norm()
+        if dist >= self.repulsion_distance:
+            return Vec2.zero()
+        if dist <= 1e-9:
+            # Coincident sensors: push in an arbitrary fixed direction; the
+            # caller adds jitter when needed.
+            return Vec2(self.sensor_gain, 0.0)
+        magnitude = self.sensor_gain * (self.repulsion_distance - dist) / self.repulsion_distance
+        return delta.normalized() * magnitude
+
+    def force_from_obstacles(self, position: Vec2, field: Field) -> Vec2:
+        """Repulsive force from obstacles and the field boundary."""
+        total = Vec2.zero()
+        # Obstacle repulsion: away from the nearest boundary point of each
+        # obstacle that is within perception range.
+        for obstacle in field.obstacles:
+            dist = obstacle.boundary_distance_to(position)
+            if obstacle.contains(position):
+                # Inside an obstacle (should not normally happen): push hard
+                # toward the nearest boundary point to escape.
+                escape = obstacle.closest_boundary_point(position)
+                total = total + position.towards(escape) * (-self.obstacle_gain)
+                continue
+            if dist >= self.obstacle_distance or dist <= 1e-9:
+                continue
+            closest = obstacle.closest_boundary_point(position)
+            direction = (position - closest).normalized()
+            magnitude = self.obstacle_gain * (self.obstacle_distance - dist) / self.obstacle_distance
+            total = total + direction * magnitude
+        # Field boundary repulsion: keep sensors inside the rectangle.
+        total = total + self._boundary_force(position, field)
+        return total
+
+    def _boundary_force(self, position: Vec2, field: Field) -> Vec2:
+        """Force pushing the sensor away from the field's outer walls."""
+        force = Vec2.zero()
+        d = self.obstacle_distance
+        if d <= 0:
+            return force
+        if position.x < d:
+            force = force + Vec2(self.obstacle_gain * (d - position.x) / d, 0.0)
+        if field.width - position.x < d:
+            force = force + Vec2(
+                -self.obstacle_gain * (d - (field.width - position.x)) / d, 0.0
+            )
+        if position.y < d:
+            force = force + Vec2(0.0, self.obstacle_gain * (d - position.y) / d)
+        if field.height - position.y < d:
+            force = force + Vec2(
+                0.0, -self.obstacle_gain * (d - (field.height - position.y)) / d
+            )
+        return force
+
+    # ------------------------------------------------------------------
+    # Resultant
+    # ------------------------------------------------------------------
+    def resultant(
+        self,
+        position: Vec2,
+        neighbor_positions: Iterable[Vec2],
+        field: Optional[Field] = None,
+    ) -> Vec2:
+        """Sum of all repulsive forces acting on a sensor at ``position``."""
+        total = Vec2.zero()
+        for other in neighbor_positions:
+            total = total + self.force_from_sensor(position, other)
+        if field is not None:
+            total = total + self.force_from_obstacles(position, field)
+        return total
+
+    def direction(
+        self,
+        position: Vec2,
+        neighbor_positions: Sequence[Vec2],
+        field: Optional[Field] = None,
+    ) -> Vec2:
+        """Unit direction of the resultant force (zero vector at equilibrium)."""
+        return self.resultant(position, neighbor_positions, field).normalized()

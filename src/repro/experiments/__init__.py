@@ -1,0 +1,56 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from .common import (
+    BENCH_SCALE,
+    FULL_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    make_config,
+    make_world,
+    run_scheme,
+)
+from .fig3 import Fig3Row, run_fig3, format_fig3
+from .fig8 import run_fig8, format_fig8
+from .fig9 import Fig9Row, run_fig9, format_fig9
+from .fig10 import Fig10Row, run_fig10, format_fig10
+from .fig11 import Fig11Row, run_fig11, format_fig11
+from .fig12 import Fig12Row, run_fig12, format_fig12
+from .fig13 import Fig13Run, Fig13Summary, run_fig13, format_fig13
+from .table1 import Table1Row, run_table1, format_table1
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "BENCH_SCALE",
+    "FULL_SCALE",
+    "SMOKE_SCALE",
+    "ExperimentScale",
+    "make_config",
+    "make_world",
+    "run_scheme",
+    "Fig3Row",
+    "run_fig3",
+    "format_fig3",
+    "run_fig8",
+    "format_fig8",
+    "Fig9Row",
+    "run_fig9",
+    "format_fig9",
+    "Fig10Row",
+    "run_fig10",
+    "format_fig10",
+    "Fig11Row",
+    "run_fig11",
+    "format_fig11",
+    "Fig12Row",
+    "run_fig12",
+    "format_fig12",
+    "Fig13Run",
+    "Fig13Summary",
+    "run_fig13",
+    "format_fig13",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "EXPERIMENTS",
+    "run_experiment",
+]

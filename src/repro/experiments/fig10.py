@@ -1,0 +1,121 @@
+"""Figure 10: coverage of FLOOR, VOR and Minimax versus ``rc / rs``.
+
+With ``rs = 60 m`` and ``rc / rs`` swept from 0.8 to 4, the paper observes:
+
+* VOR and Minimax leave the network disconnected whenever ``rc / rs <= 2``;
+* they only construct all-correct Voronoi cells for ``rc / rs >= 3``
+  (VOR) / ``>= 4`` (Minimax), and their coverage suffers below that;
+* once ``rc / rs`` is large (>= 2.5) the VD schemes perform well and can
+  slightly exceed FLOOR because they ignore the connectivity constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Sequence
+
+from ..baselines import MinimaxScheme, VorScheme, explode
+from ..field import clustered_initial_positions, obstacle_free_field
+from ..metrics import positions_are_connected
+from ..voronoi import diagram_is_correct
+from .common import ExperimentScale, FULL_SCALE, run_scheme
+
+__all__ = ["Fig10Row", "DEFAULT_RATIOS", "run_fig10", "format_fig10"]
+
+#: ``rc / rs`` ratios swept by the figure.
+DEFAULT_RATIOS = (0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0)
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """Result of one scheme at one ``rc / rs`` ratio."""
+
+    scheme: str
+    ratio: float
+    communication_range: float
+    sensing_range: float
+    coverage: float
+    connected: bool
+    all_voronoi_cells_correct: bool
+
+
+def run_fig10(
+    scale: ExperimentScale = FULL_SCALE,
+    ratios: Sequence[float] | None = None,
+    sensing_range: float = 60.0,
+    vd_rounds: int = 10,
+    seed: int = 1,
+    include_floor: bool = True,
+) -> List[Fig10Row]:
+    """Run the Figure 10 sweep."""
+    ratios = list(ratios or DEFAULT_RATIOS)
+    field = obstacle_free_field(scale.field_size)
+    rows: List[Fig10Row] = []
+
+    for ratio in ratios:
+        rc = ratio * sensing_range
+
+        if include_floor:
+            floor_result = run_scheme(
+                "FLOOR",
+                scale,
+                communication_range=rc,
+                sensing_range=sensing_range,
+                seed=seed,
+                field=field,
+            )
+            floor_world = floor_result.world
+            floor_positions = floor_world.positions() if floor_world else []
+            rows.append(
+                Fig10Row(
+                    scheme="FLOOR",
+                    ratio=ratio,
+                    communication_range=rc,
+                    sensing_range=sensing_range,
+                    coverage=floor_result.final_coverage,
+                    connected=floor_result.connected,
+                    all_voronoi_cells_correct=True,
+                )
+            )
+
+        # VOR and Minimax: explosion from the clustered start, then rounds.
+        rng = Random(seed)
+        initial = clustered_initial_positions(
+            scale.sensor_count, rng, cluster_size=scale.field_size / 2.0, field=field
+        )
+        exploded = explode(initial, field, rng)
+        for scheme_cls in (VorScheme, MinimaxScheme):
+            scheme = scheme_cls(field, rc, sensing_range)
+            vd_result = scheme.run(exploded.positions, rounds=vd_rounds)
+            coverage = scheme.coverage(
+                vd_result.final_positions, scale.coverage_resolution
+            )
+            connected = positions_are_connected(vd_result.final_positions, rc)
+            vd_check = diagram_is_correct(vd_result.final_positions, rc, field)
+            rows.append(
+                Fig10Row(
+                    scheme=scheme.name,
+                    ratio=ratio,
+                    communication_range=rc,
+                    sensing_range=sensing_range,
+                    coverage=coverage,
+                    connected=connected,
+                    all_voronoi_cells_correct=vd_check.all_correct,
+                )
+            )
+    return rows
+
+
+def format_fig10(rows: List[Fig10Row]) -> str:
+    """Render the sweep as an aligned text table."""
+    lines = ["Figure 10 (coverage vs. rc/rs, rs = 60 m)", "-" * 42]
+    lines.append(
+        f"{'rc/rs':>6s} {'scheme':<9s} {'coverage':>9s} {'connected':>10s} {'correct VD':>11s}"
+    )
+    for row in sorted(rows, key=lambda r: (r.ratio, r.scheme)):
+        lines.append(
+            f"{row.ratio:>6.1f} {row.scheme:<9s} {100 * row.coverage:>8.1f}%"
+            f" {str(row.connected):>10s} {str(row.all_voronoi_cells_correct):>11s}"
+        )
+    return "\n".join(lines)

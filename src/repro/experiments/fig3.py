@@ -1,0 +1,92 @@
+"""Figure 3: CPVF layouts and coverage in three canonical scenarios.
+
+The paper reports the coverage of CPVF with 240 sensors after 750 s for:
+
+* (a) ``rc = 60 m``, ``rs = 40 m``, obstacle-free field  -> 74.5 %
+* (b) ``rc = 30 m``, ``rs = 40 m``, obstacle-free field  -> 26.4 %
+* (c) ``rc = 60 m``, ``rs = 40 m``, two-obstacle field   -> 37.1 %
+
+The qualitative claims being reproduced: coverage collapses when ``rc``
+drops below ``rs`` (sensors cluster because the connectivity constraint
+keeps them within ``rc`` of their tree neighbours), and obstacles trap a
+large part of the population inside the initial quadrant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .common import ExperimentScale, FULL_SCALE, run_scheme
+
+__all__ = ["Fig3Row", "SCENARIOS", "run_fig3", "format_fig3"]
+
+#: The three scenarios of Figure 3: (label, rc, rs, with_obstacles, paper coverage).
+SCENARIOS = (
+    ("a", 60.0, 40.0, False, 0.745),
+    ("b", 30.0, 40.0, False, 0.264),
+    ("c", 60.0, 40.0, True, 0.371),
+)
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One scenario of Figure 3."""
+
+    scenario: str
+    communication_range: float
+    sensing_range: float
+    with_obstacles: bool
+    coverage: float
+    paper_coverage: float
+    connected: bool
+    average_moving_distance: float
+
+
+def run_fig3(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 1,
+    scheme_name: str = "CPVF",
+) -> List[Fig3Row]:
+    """Run the three Figure 3 scenarios (CPVF by default)."""
+    rows: List[Fig3Row] = []
+    for label, rc, rs, with_obstacles, paper in SCENARIOS:
+        result = run_scheme(
+            scheme_name,
+            scale,
+            communication_range=rc,
+            sensing_range=rs,
+            with_obstacles=with_obstacles,
+            seed=seed,
+        )
+        rows.append(
+            Fig3Row(
+                scenario=label,
+                communication_range=rc,
+                sensing_range=rs,
+                with_obstacles=with_obstacles,
+                coverage=result.final_coverage,
+                paper_coverage=paper,
+                connected=result.connected,
+                average_moving_distance=result.average_moving_distance,
+            )
+        )
+    return rows
+
+
+def format_fig3(rows: List[Fig3Row], title: str = "Figure 3 (CPVF)") -> str:
+    """Render the rows as an aligned text table."""
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'case':<5s}{'rc':>6s}{'rs':>6s}{'obstacles':>11s}"
+        f"{'coverage':>10s}{'paper':>8s}{'conn':>6s}{'avg move (m)':>14s}"
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<5s}{row.communication_range:>6.0f}{row.sensing_range:>6.0f}"
+            f"{str(row.with_obstacles):>11s}{100 * row.coverage:>9.1f}%"
+            f"{100 * row.paper_coverage:>7.1f}%{str(row.connected):>6s}"
+            f"{row.average_moving_distance:>14.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Figure 8: FLOOR layouts and coverage in the Figure 3 scenarios.
+
+The paper's coverage numbers for FLOOR with 240 sensors after 750 s:
+
+* (a) ``rc = 60 m``, ``rs = 40 m``, obstacle-free field  -> 78.8 %
+* (b) ``rc = 30 m``, ``rs = 40 m``, obstacle-free field  -> 46.2 %
+* (c) ``rc = 60 m``, ``rs = 40 m``, two-obstacle field   -> 72.5 %
+
+The qualitative claims being reproduced: FLOOR beats CPVF in every
+scenario, degrades far more gracefully when ``rc < rs`` (floor separation
+removes the vertical sensing overlap) and has no difficulty expanding
+coverage past obstacles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .common import ExperimentScale, FULL_SCALE
+from .fig3 import Fig3Row, run_fig3
+
+__all__ = ["FIG8_PAPER_COVERAGE", "run_fig8", "format_fig8"]
+
+#: Paper coverage values for FLOOR, keyed by scenario label.
+FIG8_PAPER_COVERAGE = {"a": 0.788, "b": 0.462, "c": 0.725}
+
+
+def run_fig8(scale: ExperimentScale = FULL_SCALE, seed: int = 1) -> List[Fig3Row]:
+    """Run the three Figure 8 scenarios with FLOOR."""
+    rows = run_fig3(scale, seed=seed, scheme_name="FLOOR")
+    return [
+        Fig3Row(
+            scenario=row.scenario,
+            communication_range=row.communication_range,
+            sensing_range=row.sensing_range,
+            with_obstacles=row.with_obstacles,
+            coverage=row.coverage,
+            paper_coverage=FIG8_PAPER_COVERAGE[row.scenario],
+            connected=row.connected,
+            average_moving_distance=row.average_moving_distance,
+        )
+        for row in rows
+    ]
+
+
+def format_fig8(rows: List[Fig3Row]) -> str:
+    """Render the FLOOR rows as an aligned text table."""
+    from .fig3 import format_fig3
+
+    return format_fig3(rows, title="Figure 8 (FLOOR)")

@@ -1,0 +1,78 @@
+"""Run every experiment and print the paper's tables and figures.
+
+This module is the command-line face of the reproduction::
+
+    python -m repro.experiments.runner --scale bench
+    python -m repro.experiments.runner --scale full --only fig3 fig8
+
+At full scale a complete sweep takes hours; the default ``bench`` scale
+keeps the sweep's shape (relative ordering of schemes, crossover points)
+while finishing on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from .common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
+from .fig3 import format_fig3, run_fig3
+from .fig8 import format_fig8, run_fig8
+from .fig9 import format_fig9, run_fig9
+from .fig10 import format_fig10, run_fig10
+from .fig11 import format_fig11, run_fig11
+from .fig12 import format_fig12, run_fig12
+from .fig13 import format_fig13, run_fig13
+from .table1 import format_table1, run_table1
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Experiment name -> (runner, formatter).
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], str]] = {
+    "fig3": lambda scale: format_fig3(run_fig3(scale)),
+    "fig8": lambda scale: format_fig8(run_fig8(scale)),
+    "fig9": lambda scale: format_fig9(run_fig9(scale)),
+    "fig10": lambda scale: format_fig10(run_fig10(scale)),
+    "fig11": lambda scale: format_fig11(run_fig11(scale)),
+    "fig12": lambda scale: format_fig12(run_fig12(scale)),
+    "fig13": lambda scale: format_fig13(run_fig13(scale)),
+    "table1": lambda scale: format_table1(run_table1(scale)),
+}
+
+_SCALES = {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}
+
+
+def run_experiment(name: str, scale: ExperimentScale) -> str:
+    """Run one experiment by name and return its formatted report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](scale)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="bench",
+        help="experiment scale: smoke (seconds), bench (minutes), full (paper)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    scale = _SCALES[args.scale]
+    names: List[str] = args.only if args.only else sorted(EXPERIMENTS)
+    for name in names:
+        print(run_experiment(name, scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Field model: the bounded sensing field, obstacles and canonical layouts."""
+
+from .obstacles import Obstacle
+from .field import Field
+from .layouts import (
+    CLUSTER_SIZE,
+    FIELD_SIZE,
+    clustered_initial_positions,
+    corridor_field,
+    obstacle_free_field,
+    two_obstacle_field,
+    uniform_initial_positions,
+)
+from .generator import RandomObstacleConfig, generate_random_obstacle_field
+
+__all__ = [
+    "Obstacle",
+    "Field",
+    "FIELD_SIZE",
+    "CLUSTER_SIZE",
+    "obstacle_free_field",
+    "two_obstacle_field",
+    "corridor_field",
+    "clustered_initial_positions",
+    "uniform_initial_positions",
+    "RandomObstacleConfig",
+    "generate_random_obstacle_field",
+]

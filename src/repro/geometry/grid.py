@@ -1,0 +1,125 @@
+"""Coverage grids.
+
+The coverage metric in the paper is "the fraction of area covered by at
+least one sensor".  We compute it on a regular grid of sample points laid
+over the field, excluding points inside obstacles, exactly as a raster
+approximation of the covered area.  The grid is also reused by the random
+obstacle generator to verify free-space connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .vec import Vec2
+
+__all__ = ["CoverageGrid"]
+
+
+@dataclass
+class CoverageGrid:
+    """A regular grid of sample points over an axis-aligned rectangle.
+
+    Parameters
+    ----------
+    xmin, ymin, xmax, ymax:
+        Bounds of the sampled rectangle.
+    resolution:
+        Spacing between neighbouring sample points, in metres.  The paper's
+        field is 1000 x 1000 m with sensing ranges of 30-60 m, so a 10 m
+        resolution (the default used by the experiments) keeps the coverage
+        estimate within about one percentage point of the exact value.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+    resolution: float
+
+    def __post_init__(self) -> None:
+        if self.xmax <= self.xmin or self.ymax <= self.ymin:
+            raise ValueError("grid rectangle must have positive extent")
+        if self.resolution <= 0:
+            raise ValueError("grid resolution must be positive")
+        xs = np.arange(self.xmin + self.resolution / 2, self.xmax, self.resolution)
+        ys = np.arange(self.ymin + self.resolution / 2, self.ymax, self.resolution)
+        self._xs = xs
+        self._ys = ys
+        # Meshgrid of sample point coordinates, flattened to 1-D arrays.
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        self._px = gx.ravel()
+        self._py = gy.ravel()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Number of sample columns and rows ``(nx, ny)``."""
+        return (len(self._xs), len(self._ys))
+
+    @property
+    def num_points(self) -> int:
+        """Total number of sample points."""
+        return len(self._px)
+
+    def points(self) -> Iterator[Vec2]:
+        """Iterate over all sample points as :class:`Vec2`."""
+        for x, y in zip(self._px, self._py):
+            yield Vec2(float(x), float(y))
+
+    def point_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The flattened x and y coordinate arrays of all sample points."""
+        return self._px, self._py
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def mask_from_predicate(self, predicate: Callable[[Vec2], bool]) -> np.ndarray:
+        """Boolean mask of sample points for which ``predicate`` is true.
+
+        Intended for low-frequency use (obstacle masks are computed once per
+        field and cached by the caller); per-sensor coverage uses the
+        vectorised :meth:`coverage_mask` instead.
+        """
+        return np.fromiter(
+            (predicate(p) for p in self.points()), dtype=bool, count=self.num_points
+        )
+
+    def coverage_mask(
+        self, centers: Sequence[Tuple[float, float]], radius: float
+    ) -> np.ndarray:
+        """Mask of sample points within ``radius`` of any of ``centers``."""
+        covered = np.zeros(self.num_points, dtype=bool)
+        if not centers or radius <= 0:
+            return covered
+        r_sq = radius * radius
+        for cx, cy in centers:
+            remaining = ~covered
+            if not remaining.any():
+                break
+            dx = self._px[remaining] - cx
+            dy = self._py[remaining] - cy
+            hit = dx * dx + dy * dy <= r_sq
+            idx = np.flatnonzero(remaining)
+            covered[idx[hit]] = True
+        return covered
+
+    def fraction(self, mask: np.ndarray, domain: np.ndarray | None = None) -> float:
+        """Fraction of (domain) points set in ``mask``.
+
+        ``domain`` restricts the denominator; in the experiments it is the
+        set of points not inside an obstacle.
+        """
+        if domain is None:
+            if self.num_points == 0:
+                return 0.0
+            return float(np.count_nonzero(mask)) / float(self.num_points)
+        denom = int(np.count_nonzero(domain))
+        if denom == 0:
+            return 0.0
+        return float(np.count_nonzero(mask & domain)) / float(denom)

@@ -1,0 +1,233 @@
+"""Line-segment primitives: intersection tests, distances and projections.
+
+Segments are used for obstacle edges, floor lines clipped to the field,
+BUG2 reference lines and Voronoi cell boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .vec import EPS, Vec2
+
+__all__ = ["Segment", "orientation", "on_segment"]
+
+
+def orientation(a: Vec2, b: Vec2, c: Vec2) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear points (within :data:`~repro.geometry.vec.EPS`).
+    """
+    cross = (b - a).cross(c - a)
+    if cross > EPS:
+        return 1
+    if cross < -EPS:
+        return -1
+    return 0
+
+
+def on_segment(p: Vec2, a: Vec2, b: Vec2, eps: float = EPS) -> bool:
+    """Return ``True`` when ``p`` lies on the closed segment ``[a, b]``."""
+    if abs((b - a).cross(p - a)) > eps * max(1.0, a.distance_to(b)):
+        return False
+    return (
+        min(a.x, b.x) - eps <= p.x <= max(a.x, b.x) + eps
+        and min(a.y, b.y) - eps <= p.y <= max(a.y, b.y) + eps
+    )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two points."""
+
+    a: Vec2
+    b: Vec2
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    def direction(self) -> Vec2:
+        """Unit vector from ``a`` to ``b`` (zero vector for degenerate segments)."""
+        return self.a.towards(self.b)
+
+    def midpoint(self) -> Vec2:
+        """The midpoint of the segment."""
+        return self.a.lerp(self.b, 0.5)
+
+    def point_at(self, t: float) -> Vec2:
+        """Point at parameter ``t`` where ``t=0`` is ``a`` and ``t=1`` is ``b``."""
+        return self.a.lerp(self.b, t)
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.b, self.a)
+
+    # ------------------------------------------------------------------
+    # Distances and projections
+    # ------------------------------------------------------------------
+    def project_parameter(self, p: Vec2) -> float:
+        """Parameter ``t`` of the orthogonal projection of ``p`` onto the line.
+
+        The result is *not* clamped to ``[0, 1]``.
+        """
+        d = self.b - self.a
+        denom = d.norm_sq()
+        if denom <= EPS:
+            return 0.0
+        return (p - self.a).dot(d) / denom
+
+    def closest_point(self, p: Vec2) -> Vec2:
+        """The point of the closed segment closest to ``p``."""
+        t = min(1.0, max(0.0, self.project_parameter(p)))
+        return self.point_at(t)
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Distance from ``p`` to the closed segment."""
+        return p.distance_to(self.closest_point(p))
+
+    def contains_point(self, p: Vec2, eps: float = 1e-7) -> bool:
+        """Return ``True`` if ``p`` lies on the segment within ``eps``."""
+        return self.distance_to_point(p) <= eps
+
+    # ------------------------------------------------------------------
+    # Intersections
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Segment") -> bool:
+        """Whether the two closed segments share at least one point."""
+        o1 = orientation(self.a, self.b, other.a)
+        o2 = orientation(self.a, self.b, other.b)
+        o3 = orientation(other.a, other.b, self.a)
+        o4 = orientation(other.a, other.b, self.b)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        if o1 == 0 and on_segment(other.a, self.a, self.b):
+            return True
+        if o2 == 0 and on_segment(other.b, self.a, self.b):
+            return True
+        if o3 == 0 and on_segment(self.a, other.a, other.b):
+            return True
+        if o4 == 0 and on_segment(self.b, other.a, other.b):
+            return True
+        return False
+
+    def intersection(self, other: "Segment") -> Optional[Vec2]:
+        """Single intersection point of two segments, if one exists.
+
+        Returns ``None`` when the segments do not intersect or when they are
+        collinear and overlap in more than a point (no unique answer).
+        """
+        d1 = self.b - self.a
+        d2 = other.b - other.a
+        denom = d1.cross(d2)
+        if abs(denom) <= EPS:
+            # Parallel or collinear.  Report a shared endpoint when they only
+            # touch at one, otherwise give up (ambiguous overlap).
+            touches = [
+                p
+                for p in (self.a, self.b)
+                if on_segment(p, other.a, other.b)
+            ] + [
+                p
+                for p in (other.a, other.b)
+                if on_segment(p, self.a, self.b)
+            ]
+            unique: List[Vec2] = []
+            for p in touches:
+                if not any(p.almost_equals(q) for q in unique):
+                    unique.append(p)
+            if len(unique) == 1:
+                return unique[0]
+            return None
+        t = (other.a - self.a).cross(d2) / denom
+        u = (other.a - self.a).cross(d1) / denom
+        if -EPS <= t <= 1 + EPS and -EPS <= u <= 1 + EPS:
+            return self.point_at(min(1.0, max(0.0, t)))
+        return None
+
+    def intersection_parameters(self, other: "Segment") -> Optional[tuple]:
+        """``(t, u)`` parameters of the intersection, or ``None``.
+
+        ``t`` parameterises ``self`` and ``u`` parameterises ``other``.
+        Collinear overlaps return ``None``.
+        """
+        d1 = self.b - self.a
+        d2 = other.b - other.a
+        denom = d1.cross(d2)
+        if abs(denom) <= EPS:
+            return None
+        t = (other.a - self.a).cross(d2) / denom
+        u = (other.a - self.a).cross(d1) / denom
+        if -EPS <= t <= 1 + EPS and -EPS <= u <= 1 + EPS:
+            return (t, u)
+        return None
+
+    def distance_to_segment(self, other: "Segment") -> float:
+        """Minimum distance between two closed segments."""
+        if self.intersects(other):
+            return 0.0
+        return min(
+            self.distance_to_point(other.a),
+            self.distance_to_point(other.b),
+            other.distance_to_point(self.a),
+            other.distance_to_point(self.b),
+        )
+
+    # ------------------------------------------------------------------
+    # Clipping
+    # ------------------------------------------------------------------
+    def clip_to_box(
+        self, xmin: float, ymin: float, xmax: float, ymax: float
+    ) -> Optional["Segment"]:
+        """Liang–Barsky clipping of the segment to an axis-aligned box.
+
+        Returns the clipped segment, or ``None`` when the segment lies
+        entirely outside the box.
+        """
+        dx = self.b.x - self.a.x
+        dy = self.b.y - self.a.y
+        t0, t1 = 0.0, 1.0
+        checks = (
+            (-dx, self.a.x - xmin),
+            (dx, xmax - self.a.x),
+            (-dy, self.a.y - ymin),
+            (dy, ymax - self.a.y),
+        )
+        for p, q in checks:
+            if abs(p) <= EPS:
+                if q < 0:
+                    return None
+                continue
+            r = q / p
+            if p < 0:
+                if r > t1:
+                    return None
+                t0 = max(t0, r)
+            else:
+                if r < t0:
+                    return None
+                t1 = min(t1, r)
+        if t0 > t1:
+            return None
+        return Segment(self.point_at(t0), self.point_at(t1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment({self.a!r} -> {self.b!r})"
+
+
+def _self_test() -> None:  # pragma: no cover - manual sanity helper
+    s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+    s2 = Segment(Vec2(5, -5), Vec2(5, 5))
+    assert s1.intersects(s2)
+    assert s1.intersection(s2).almost_equals(Vec2(5, 0))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _self_test()

@@ -1,0 +1,23 @@
+"""Evaluation metrics: coverage, moving distance, connectivity, CDFs."""
+
+from .cdf import EmpiricalCDF
+from .connectivity import (
+    connected_components,
+    largest_component_fraction,
+    positions_are_connected,
+)
+from .coverage import CoverageReport, coverage_fraction, coverage_report
+from .distance import DistanceSummary, summarize_distances, summarize_sensor_distances
+
+__all__ = [
+    "EmpiricalCDF",
+    "connected_components",
+    "largest_component_fraction",
+    "positions_are_connected",
+    "CoverageReport",
+    "coverage_fraction",
+    "coverage_report",
+    "DistanceSummary",
+    "summarize_distances",
+    "summarize_sensor_distances",
+]

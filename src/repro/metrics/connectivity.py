@@ -1,0 +1,90 @@
+"""Connectivity metrics.
+
+The paper's schemes guarantee connectivity to a base station; the VD-based
+baselines do not, and Fig 10 flags their runs as "Disconn." when the sensor
+graph falls apart.  These helpers check connectivity of arbitrary position
+snapshots (with or without a base station) using a plain union-find, so they
+work for scheme outputs that are not backed by a :class:`~repro.sim.World`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..geometry import Vec2
+
+__all__ = ["positions_are_connected", "connected_components", "largest_component_fraction"]
+
+
+class _UnionFind:
+    """Minimal union-find over integer indices."""
+
+    def __init__(self, size: int):
+        self._parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def _build_union(
+    positions: Sequence[Vec2], communication_range: float
+) -> _UnionFind:
+    uf = _UnionFind(len(positions))
+    r = communication_range + 1e-9
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            if positions[i].distance_to(positions[j]) <= r:
+                uf.union(i, j)
+    return uf
+
+
+def connected_components(
+    positions: Sequence[Vec2], communication_range: float
+) -> List[List[int]]:
+    """Connected components of the unit-disk graph over ``positions``."""
+    if not positions:
+        return []
+    uf = _build_union(positions, communication_range)
+    groups: Dict[int, List[int]] = {}
+    for i in range(len(positions)):
+        groups.setdefault(uf.find(i), []).append(i)
+    return list(groups.values())
+
+
+def positions_are_connected(
+    positions: Sequence[Vec2],
+    communication_range: float,
+    base_station: Optional[Vec2] = None,
+) -> bool:
+    """Whether the unit-disk graph over ``positions`` is connected.
+
+    When ``base_station`` is given it is added as an extra node, so the
+    check becomes "every sensor can reach the base station".
+    """
+    if not positions:
+        return True
+    nodes = list(positions)
+    if base_station is not None:
+        nodes = nodes + [base_station]
+    components = connected_components(nodes, communication_range)
+    return len(components) == 1
+
+
+def largest_component_fraction(
+    positions: Sequence[Vec2], communication_range: float
+) -> float:
+    """Fraction of sensors in the largest connected component."""
+    if not positions:
+        return 1.0
+    components = connected_components(positions, communication_range)
+    return max(len(c) for c in components) / len(positions)

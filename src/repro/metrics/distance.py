@@ -1,0 +1,47 @@
+"""Moving-distance metrics.
+
+Moving distance dominates energy consumption in the deployment process
+(Section 6.2 of the paper), so it is the second headline metric after
+coverage.  Distances come either from sensor odometers (CPVF/FLOOR runs) or
+from per-sensor distance lists (the VD baselines and Hungarian bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import List, Sequence
+
+from ..sensors import Sensor
+
+__all__ = ["DistanceSummary", "summarize_distances", "summarize_sensor_distances"]
+
+
+@dataclass(frozen=True)
+class DistanceSummary:
+    """Summary statistics of per-sensor moving distances."""
+
+    total: float
+    average: float
+    median: float
+    maximum: float
+    count: int
+
+
+def summarize_distances(distances: Sequence[float]) -> DistanceSummary:
+    """Summarise a list of per-sensor distances."""
+    values: List[float] = [float(d) for d in distances]
+    if not values:
+        return DistanceSummary(0.0, 0.0, 0.0, 0.0, 0)
+    return DistanceSummary(
+        total=sum(values),
+        average=mean(values),
+        median=median(values),
+        maximum=max(values),
+        count=len(values),
+    )
+
+
+def summarize_sensor_distances(sensors: Sequence[Sensor]) -> DistanceSummary:
+    """Summarise the odometers of a sensor population."""
+    return summarize_distances([s.moving_distance for s in sensors])

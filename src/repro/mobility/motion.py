@@ -1,0 +1,136 @@
+"""Step-based motion model.
+
+The paper's sensors "move in steps of variable size; in each step, a sensor
+moves in a straight line at a uniform speed for a fixed amount of time
+(a *period*, T), and at the end of that step it decides the direction and
+size of the next step".  The maximum speed is ``V``, so the maximum step
+size is ``V * T``.
+
+:class:`MotionModel` keeps a sensor's kinematic state: its position, the
+path (if any) it is currently following, and its odometer (total distance
+travelled), which is the moving-distance metric of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geometry import Vec2
+from .bug2 import Bug2Path
+
+__all__ = ["MotionModel"]
+
+
+@dataclass
+class MotionModel:
+    """Kinematics of a single mobile sensor.
+
+    Parameters
+    ----------
+    position:
+        Current location.
+    max_speed:
+        Maximum moving speed ``V`` in metres per second.
+    period:
+        Length ``T`` of one decision period in seconds.
+    """
+
+    position: Vec2
+    max_speed: float
+    period: float
+    odometer: float = 0.0
+    _path: Optional[Bug2Path] = field(default=None, repr=False)
+    _path_progress: float = field(default=0.0, repr=False)
+
+    # ------------------------------------------------------------------
+    # Direct moves
+    # ------------------------------------------------------------------
+    @property
+    def max_step(self) -> float:
+        """Maximum distance coverable in one period (``V * T``)."""
+        return self.max_speed * self.period
+
+    def move_to(self, target: Vec2) -> float:
+        """Teleport-style move used after a validated step-size decision.
+
+        The caller is responsible for having limited ``target`` to at most
+        one step away and for collision checks; the odometer is charged the
+        straight-line distance.  Returns the distance moved.
+        """
+        dist = self.position.distance_to(target)
+        self.position = target
+        self.odometer += dist
+        return dist
+
+    def step_towards(self, target: Vec2, distance: Optional[float] = None) -> float:
+        """Move straight toward ``target`` by at most one step.
+
+        ``distance`` optionally caps the step below ``V * T`` (e.g. the
+        maximum *valid* step size under the connectivity-preserving
+        conditions).  Returns the distance actually moved.
+        """
+        limit = self.max_step if distance is None else min(distance, self.max_step)
+        gap = self.position.distance_to(target)
+        if gap <= 1e-12 or limit <= 0:
+            return 0.0
+        travel = min(limit, gap)
+        direction = self.position.towards(target)
+        self.position = self.position + direction * travel
+        self.odometer += travel
+        return travel
+
+    # ------------------------------------------------------------------
+    # Path following
+    # ------------------------------------------------------------------
+    def follow(self, path: Bug2Path) -> None:
+        """Start following a planned polyline path from its beginning."""
+        self._path = path
+        self._path_progress = 0.0
+        if path.waypoints and not path.waypoints[0].almost_equals(self.position):
+            # The path was planned from (a projection of) the current
+            # position; snap to it so arc-length progress stays consistent.
+            self.position = path.waypoints[0]
+
+    @property
+    def has_path(self) -> bool:
+        """Whether the sensor is currently following a path."""
+        return self._path is not None
+
+    @property
+    def path(self) -> Optional[Bug2Path]:
+        """The path being followed, if any."""
+        return self._path
+
+    def remaining_path_length(self) -> float:
+        """Arc length left on the current path (zero when idle)."""
+        if self._path is None:
+            return 0.0
+        return max(0.0, self._path.length() - self._path_progress)
+
+    def advance_along_path(self, distance: Optional[float] = None) -> float:
+        """Advance along the current path by at most one step.
+
+        Returns the distance moved.  The path is cleared automatically when
+        its end is reached.
+        """
+        if self._path is None:
+            return 0.0
+        limit = self.max_step if distance is None else min(distance, self.max_step)
+        if limit <= 0:
+            return 0.0
+        remaining = self.remaining_path_length()
+        travel = min(limit, remaining)
+        self._path_progress += travel
+        new_position = self._path.point_at_distance(self._path_progress)
+        self.odometer += travel
+        self.position = new_position
+        if self.remaining_path_length() <= 1e-9:
+            self._path = None
+            self._path_progress = 0.0
+        return travel
+
+    def stop(self) -> None:
+        """Abandon the current path (the sensor stays where it is)."""
+        self._path = None
+        self._path_progress = 0.0

@@ -1,0 +1,17 @@
+"""Network substrate: radio model, messages, connectivity tree, routing costs."""
+
+from .messages import Message, MessageType
+from .radio import Radio
+from .routing import RoutingCostModel
+from .stats import MessageStats
+from .tree import BASE_STATION_ID, ConnectivityTree
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Radio",
+    "RoutingCostModel",
+    "MessageStats",
+    "BASE_STATION_ID",
+    "ConnectivityTree",
+]

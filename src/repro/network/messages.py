@@ -1,0 +1,66 @@
+"""Protocol message types and records.
+
+The schemes exchange short control messages: connectivity floods, lazy-
+movement ``PathParentInquiry`` probes, CPVF's ``LockTree`` / ``UnLockTree``
+tree-locking handshake, FLOOR's ``Invitation`` random walks and the
+coverage-status queries answered by floor-header nodes.  Table 1 of the
+paper reports the *number* of such messages, so the network layer models
+them as counted records rather than payload-carrying packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..geometry import Vec2
+
+__all__ = ["MessageType", "Message"]
+
+
+class MessageType(Enum):
+    """All protocol message categories used by CPVF and FLOOR."""
+
+    #: Connectivity flood originating near the base station.
+    CONNECTIVITY_FLOOD = "connectivity_flood"
+    #: Lazy movement: probe along the path-parent chain to detect wait loops.
+    PATH_PARENT_INQUIRY = "path_parent_inquiry"
+    #: Neighbour state exchange (position/direction/period end) before a step.
+    NEIGHBOR_STATE = "neighbor_state"
+    #: CPVF: request to lock the subtree before changing parent.
+    LOCK_TREE = "lock_tree"
+    #: CPVF: release a previously locked subtree.
+    UNLOCK_TREE = "unlock_tree"
+    #: FLOOR: arrival report from a newly connected sensor to the base station.
+    ARRIVAL_REPORT = "arrival_report"
+    #: FLOOR: base-station response carrying the ancestor list.
+    ANCESTOR_RESPONSE = "ancestor_response"
+    #: FLOOR: coverage-status query routed to floor header nodes.
+    COVERAGE_QUERY = "coverage_query"
+    #: FLOOR: floor header's response to a coverage-status query.
+    COVERAGE_RESPONSE = "coverage_response"
+    #: FLOOR: random-walk invitation advertising an expansion point.
+    INVITATION = "invitation"
+    #: FLOOR: a movable sensor accepting an invitation.
+    ACCEPT_INVITATION = "accept_invitation"
+    #: FLOOR: acknowledgement (or implicit rejection) of an acceptance.
+    ACKNOWLEDGE = "acknowledge"
+    #: FLOOR: location update sent up the tree for a virtual fixed node.
+    LOCATION_UPDATE = "location_update"
+
+
+@dataclass
+class Message:
+    """A single protocol message (used mainly for accounting and tracing)."""
+
+    message_type: MessageType
+    source: int
+    destination: Optional[int] = None
+    hops: int = 1
+    payload_location: Optional[Vec2] = None
+    ttl: Optional[int] = None
+
+    def cost(self) -> int:
+        """Number of point-to-point transmissions this message required."""
+        return max(1, self.hops)

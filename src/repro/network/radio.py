@@ -1,0 +1,136 @@
+"""Unit-disk radio model and neighbour tables.
+
+The paper models communication as an isotropic unit disk of radius ``rc``:
+two sensors are neighbours exactly when their distance is at most ``rc``.
+Obstacles block *movement* and *sensing* but the paper does not model radio
+shadowing, so by default neither do we; an optional flag enables line-of-
+sight blocking for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from ..field import Field
+from ..geometry import Segment, Vec2
+from ..sensors import Sensor
+
+__all__ = ["Radio"]
+
+
+@dataclass
+class Radio:
+    """Computes neighbour relations among sensors (plus the base station).
+
+    Parameters
+    ----------
+    field:
+        The deployment field (used only when ``line_of_sight`` is enabled).
+    line_of_sight:
+        When ``True``, two nodes are neighbours only if the straight segment
+        between them does not cross an obstacle.  The paper's experiments use
+        the plain unit-disk model (``False``).
+    """
+
+    field: Field
+    line_of_sight: bool = False
+
+    # ------------------------------------------------------------------
+    # Pairwise link predicate
+    # ------------------------------------------------------------------
+    def link_exists(self, a: Vec2, b: Vec2, communication_range: float) -> bool:
+        """Whether two positions can communicate directly."""
+        if a.distance_to(b) > communication_range + 1e-9:
+            return False
+        if self.line_of_sight and self.field.segment_blocked(Segment(a, b)):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Neighbour tables
+    # ------------------------------------------------------------------
+    def neighbor_table(self, sensors: Sequence[Sensor]) -> Dict[int, List[int]]:
+        """Neighbour lists keyed by sensor id.
+
+        Uses a vectorised distance computation; the per-sensor communication
+        ranges may differ (the paper uses a common ``rc`` but the library
+        does not require it).
+        """
+        ids = [s.sensor_id for s in sensors]
+        if not ids:
+            return {}
+        xs = np.array([s.position.x for s in sensors])
+        ys = np.array([s.position.y for s in sensors])
+        rcs = np.array([s.communication_range for s in sensors])
+        dx = xs[:, None] - xs[None, :]
+        dy = ys[:, None] - ys[None, :]
+        dist = np.sqrt(dx * dx + dy * dy)
+        table: Dict[int, List[int]] = {i: [] for i in ids}
+        n = len(sensors)
+        for i in range(n):
+            within = np.flatnonzero(dist[i] <= rcs[i] + 1e-9)
+            for j in within:
+                if j == i:
+                    continue
+                if self.line_of_sight and self.field.segment_blocked(
+                    Segment(sensors[i].position, sensors[j].position)
+                ):
+                    continue
+                table[ids[i]].append(ids[int(j)])
+        return table
+
+    def neighbors_of_point(
+        self,
+        point: Vec2,
+        sensors: Iterable[Sensor],
+        communication_range: float,
+    ) -> List[int]:
+        """IDs of sensors within ``communication_range`` of a point.
+
+        Used for base-station adjacency (the base station is a point, not a
+        :class:`Sensor`).
+        """
+        result: List[int] = []
+        for s in sensors:
+            if self.link_exists(point, s.position, communication_range):
+                result.append(s.sensor_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Whole-network connectivity
+    # ------------------------------------------------------------------
+    def connected_component_of(
+        self,
+        sensors: Sequence[Sensor],
+        base_station: Vec2,
+        communication_range: float,
+    ) -> Set[int]:
+        """Sensors reachable from the base station via multi-hop links."""
+        table = self.neighbor_table(sensors)
+        by_id = {s.sensor_id: s for s in sensors}
+        frontier = list(
+            self.neighbors_of_point(base_station, sensors, communication_range)
+        )
+        reached: Set[int] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for nxt in table.get(current, []):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        return reached
+
+    def network_is_connected(
+        self,
+        sensors: Sequence[Sensor],
+        base_station: Vec2,
+        communication_range: float,
+    ) -> bool:
+        """Whether every sensor has a multi-hop route to the base station."""
+        component = self.connected_component_of(
+            sensors, base_station, communication_range
+        )
+        return len(component) == len(sensors)

@@ -1,0 +1,62 @@
+"""Message-overhead accounting.
+
+Table 1 of the paper reports the total (and per-node average) number of
+protocol messages transmitted by FLOOR during a 750-second deployment, for
+different network sizes and invitation TTLs.  :class:`MessageStats` is the
+single sink all protocol layers report their transmissions to.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .messages import Message, MessageType
+
+__all__ = ["MessageStats"]
+
+
+@dataclass
+class MessageStats:
+    """Counts point-to-point transmissions per message type."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message) -> None:
+        """Record one message (its cost is its hop count)."""
+        self.counts[message.message_type] += message.cost()
+
+    def record_transmissions(self, message_type: MessageType, count: int) -> None:
+        """Record ``count`` point-to-point transmissions of a given type."""
+        if count < 0:
+            raise ValueError("transmission count cannot be negative")
+        self.counts[message_type] += count
+
+    def total(self) -> int:
+        """Total number of transmissions across all message types."""
+        return sum(self.counts.values())
+
+    def by_type(self) -> Dict[MessageType, int]:
+        """Breakdown of transmissions per message type."""
+        return dict(self.counts)
+
+    def total_for(self, message_type: MessageType) -> int:
+        """Transmissions of one specific type."""
+        return self.counts.get(message_type, 0)
+
+    def average_per_node(self, node_count: int) -> float:
+        """Average number of transmissions per sensor node."""
+        if node_count <= 0:
+            return 0.0
+        return self.total() / node_count
+
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """A new stats object combining both operand counters."""
+        merged = MessageStats()
+        merged.counts = self.counts + other.counts
+        return merged
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.counts.clear()

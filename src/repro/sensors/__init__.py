@@ -1,0 +1,6 @@
+"""Sensor node model and life-cycle states."""
+
+from .sensor import Sensor
+from .states import SensorState
+
+__all__ = ["Sensor", "SensorState"]

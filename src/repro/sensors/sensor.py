@@ -1,0 +1,109 @@
+"""The mobile sensor node.
+
+A :class:`Sensor` bundles identity, radio parameters (communication range
+``rc`` and sensing range ``rs``), the kinematic state (a
+:class:`~repro.mobility.MotionModel`) and the protocol state used by the
+deployment schemes (connectivity state, tree parent, lazy-movement path
+parent, oscillation history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..geometry import Circle, Vec2
+from ..mobility import MotionModel
+from .states import SensorState
+
+__all__ = ["Sensor"]
+
+
+@dataclass
+class Sensor:
+    """A single mobile sensor node."""
+
+    sensor_id: int
+    motion: MotionModel
+    communication_range: float
+    sensing_range: float
+    state: SensorState = SensorState.DISCONNECTED
+
+    #: Tree parent in the connectivity tree (``None`` for the root's children
+    #: the base station itself is not a Sensor).
+    parent_id: Optional[int] = None
+    #: Tree children.
+    children: Set[int] = field(default_factory=set)
+    #: IDs of all ancestors up to the base station (FLOOR phase 2 uses this
+    #: to check for loops when re-parenting children of a movable sensor).
+    ancestors: List[int] = field(default_factory=list)
+
+    #: Lazy movement: the neighbour this sensor is currently waiting on.
+    path_parent_id: Optional[int] = None
+    #: Lazy movement: how many consecutive periods the sensor has not moved.
+    idle_periods: int = 0
+    #: Lazy movement: path parents that led to a wait-loop and must not be
+    #: chosen again.
+    rejected_path_parents: Set[int] = field(default_factory=set)
+
+    #: Oscillation-avoidance history (CPVF): position at the end of the
+    #: previous step.
+    previous_position: Optional[Vec2] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Vec2:
+        """Current position (delegates to the motion model)."""
+        return self.motion.position
+
+    @position.setter
+    def position(self, value: Vec2) -> None:
+        self.motion.position = value
+
+    @property
+    def moving_distance(self) -> float:
+        """Total distance moved so far (the paper's energy proxy)."""
+        return self.motion.odometer
+
+    def sensing_disk(self) -> Circle:
+        """The sensor's sensing disk."""
+        return Circle(self.position, self.sensing_range)
+
+    def communication_disk(self) -> Circle:
+        """The sensor's communication disk."""
+        return Circle(self.position, self.communication_range)
+
+    def expansion_circle_radius(self) -> float:
+        """Radius of the FLOOR expansion circle: ``min(rc, rs)``."""
+        return min(self.communication_range, self.sensing_range)
+
+    def in_communication_range(self, other: "Sensor") -> bool:
+        """Whether ``other`` is within this sensor's communication range."""
+        return (
+            self.position.distance_to(other.position)
+            <= self.communication_range + 1e-9
+        )
+
+    def covers(self, point: Vec2) -> bool:
+        """Whether ``point`` is inside this sensor's sensing disk."""
+        return self.position.distance_to(point) <= self.sensing_range + 1e-9
+
+    # ------------------------------------------------------------------
+    # Tree bookkeeping
+    # ------------------------------------------------------------------
+    def set_parent(self, parent_id: Optional[int], ancestors: List[int]) -> None:
+        """Attach to a new tree parent and record the ancestor chain."""
+        self.parent_id = parent_id
+        self.ancestors = list(ancestors)
+
+    def is_connected(self) -> bool:
+        """Whether the sensor currently belongs to the connectivity tree."""
+        return self.state.is_connected()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Sensor(id={self.sensor_id}, pos={self.position}, "
+            f"state={self.state.value})"
+        )

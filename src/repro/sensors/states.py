@@ -1,0 +1,43 @@
+"""Sensor life-cycle states.
+
+The two schemes share the connectivity-establishment states; the FLOOR
+scheme adds the fixed / movable / relocating distinction of its second and
+third phases.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["SensorState"]
+
+
+class SensorState(Enum):
+    """The state of a sensor within a deployment scheme."""
+
+    #: Not yet aware of a multi-hop route to the base station.
+    DISCONNECTED = "disconnected"
+
+    #: Disconnected and currently walking (BUG2) toward the base station.
+    MOVING_TO_CONNECT = "moving_to_connect"
+
+    #: Connected to the base station via the connectivity tree.
+    CONNECTED = "connected"
+
+    #: FLOOR: connected and declared immovable (it anchors coverage).
+    FIXED = "fixed"
+
+    #: FLOOR: connected and free to relocate to an expansion point.
+    MOVABLE = "movable"
+
+    #: FLOOR: movable sensor en route to an accepted expansion point.
+    RELOCATING = "relocating"
+
+    def is_connected(self) -> bool:
+        """Whether the state implies membership of the connectivity tree."""
+        return self in (
+            SensorState.CONNECTED,
+            SensorState.FIXED,
+            SensorState.MOVABLE,
+            SensorState.RELOCATING,
+        )

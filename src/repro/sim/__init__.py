@@ -1,0 +1,14 @@
+"""Simulation engine: configuration, world state and the period loop."""
+
+from .config import SimulationConfig
+from .engine import DeploymentScheme, SimulationEngine, SimulationResult, TraceRecord
+from .world import World
+
+__all__ = [
+    "SimulationConfig",
+    "DeploymentScheme",
+    "SimulationEngine",
+    "SimulationResult",
+    "TraceRecord",
+    "World",
+]

@@ -1,0 +1,191 @@
+"""The simulation world: field, sensors, radio, tree and statistics.
+
+The world is the shared state a deployment scheme manipulates.  It owns the
+sensor population, the connectivity tree rooted at the base station, the
+message-accounting sinks and convenience queries (neighbour tables, network
+connectivity, coverage) that the schemes and the metrics layer both use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..field import (
+    Field,
+    clustered_initial_positions,
+    uniform_initial_positions,
+)
+from ..geometry import Vec2
+from ..mobility import MotionModel
+from ..network import (
+    BASE_STATION_ID,
+    ConnectivityTree,
+    MessageStats,
+    Radio,
+    RoutingCostModel,
+)
+from ..sensors import Sensor, SensorState
+from .config import SimulationConfig
+
+__all__ = ["World"]
+
+
+@dataclass
+class World:
+    """Mutable simulation state shared by the engine and the scheme."""
+
+    config: SimulationConfig
+    field: Field
+    sensors: List[Sensor]
+    radio: Radio
+    tree: ConnectivityTree
+    stats: MessageStats
+    routing: RoutingCostModel
+    rng: random.Random
+    time: float = 0.0
+    period_index: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def create(
+        config: SimulationConfig,
+        field: Field,
+        initial_positions: Optional[Sequence[Vec2]] = None,
+    ) -> "World":
+        """Build a world with sensors placed at their initial positions.
+
+        When ``initial_positions`` is omitted, the positions are drawn
+        according to ``config.clustered_start`` (clustered lower-left
+        quadrant, the paper's main setting, or uniform over the field).
+        """
+        rng = random.Random(config.seed)
+        if initial_positions is None:
+            if config.clustered_start:
+                # The paper clusters the initial distribution in the lower-left
+                # quadrant (500 x 500 m of a 1000 x 1000 m field); scale the
+                # cluster with the field so reduced-scale runs keep the shape.
+                initial_positions = clustered_initial_positions(
+                    config.sensor_count,
+                    rng,
+                    cluster_size=field.width / 2.0,
+                    field=field,
+                )
+            else:
+                initial_positions = uniform_initial_positions(
+                    config.sensor_count, rng, field
+                )
+        if len(initial_positions) != config.sensor_count:
+            raise ValueError(
+                "number of initial positions does not match sensor_count"
+            )
+        sensors = [
+            Sensor(
+                sensor_id=i,
+                motion=MotionModel(
+                    position=pos,
+                    max_speed=config.max_speed,
+                    period=config.period,
+                ),
+                communication_range=config.communication_range,
+                sensing_range=config.sensing_range,
+            )
+            for i, pos in enumerate(initial_positions)
+        ]
+        stats = MessageStats()
+        return World(
+            config=config,
+            field=field,
+            sensors=sensors,
+            radio=Radio(field),
+            tree=ConnectivityTree(),
+            stats=stats,
+            routing=RoutingCostModel(stats),
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def sensor(self, sensor_id: int) -> Sensor:
+        """The sensor with the given id."""
+        return self.sensors[sensor_id]
+
+    @property
+    def base_station(self) -> Vec2:
+        """Position of the base station / reference point."""
+        return self.config.base_station
+
+    def positions(self) -> List[Vec2]:
+        """Current positions of all sensors, in id order."""
+        return [s.position for s in self.sensors]
+
+    def neighbor_table(self) -> Dict[int, List[int]]:
+        """Current neighbour lists (ids within communication range)."""
+        return self.radio.neighbor_table(self.sensors)
+
+    def sensors_near_base_station(self) -> List[int]:
+        """Sensors within one hop of the base station."""
+        return self.radio.neighbors_of_point(
+            self.base_station, self.sensors, self.config.communication_range
+        )
+
+    def connected_sensor_ids(self) -> List[int]:
+        """Sensors currently marked as connected (any connected state)."""
+        return [s.sensor_id for s in self.sensors if s.is_connected()]
+
+    # ------------------------------------------------------------------
+    # Global metrics
+    # ------------------------------------------------------------------
+    def coverage(self) -> float:
+        """Fraction of non-obstacle field area covered by sensing disks."""
+        return self.field.coverage_fraction(
+            self.positions(),
+            self.config.sensing_range,
+            self.config.coverage_resolution,
+        )
+
+    def network_is_connected(self) -> bool:
+        """Whether every sensor has a multi-hop route to the base station."""
+        return self.radio.network_is_connected(
+            self.sensors, self.base_station, self.config.communication_range
+        )
+
+    def total_moving_distance(self) -> float:
+        """Sum of all sensors' odometers."""
+        return sum(s.moving_distance for s in self.sensors)
+
+    def average_moving_distance(self) -> float:
+        """Average odometer reading per sensor."""
+        if not self.sensors:
+            return 0.0
+        return self.total_moving_distance() / len(self.sensors)
+
+    # ------------------------------------------------------------------
+    # Tree maintenance helpers
+    # ------------------------------------------------------------------
+    def attach_to_tree(self, sensor_id: int, parent_id: int) -> None:
+        """Attach a sensor to the connectivity tree and update its record."""
+        self.tree.attach(sensor_id, parent_id)
+        sensor = self.sensor(sensor_id)
+        sensor.set_parent(parent_id, self.tree.ancestors_of(sensor_id))
+        if not sensor.state.is_connected():
+            sensor.state = SensorState.CONNECTED
+        if parent_id != BASE_STATION_ID:
+            self.sensor(parent_id).children.add(sensor_id)
+
+    def reparent_in_tree(self, sensor_id: int, new_parent_id: int) -> bool:
+        """Re-parent a sensor; keeps sensor-side records in sync."""
+        old_parent = self.tree.parent_of(sensor_id)
+        if not self.tree.reparent(sensor_id, new_parent_id):
+            return False
+        sensor = self.sensor(sensor_id)
+        sensor.set_parent(new_parent_id, self.tree.ancestors_of(sensor_id))
+        if old_parent is not None and old_parent != BASE_STATION_ID:
+            self.sensor(old_parent).children.discard(sensor_id)
+        if new_parent_id != BASE_STATION_ID:
+            self.sensor(new_parent_id).children.add(sensor_id)
+        return True

@@ -1,0 +1,5 @@
+"""Text-based visualisation of sensor layouts."""
+
+from .ascii_plot import render_coverage_bar, render_layout
+
+__all__ = ["render_coverage_bar", "render_layout"]

@@ -1,0 +1,77 @@
+"""ASCII rendering of sensor layouts.
+
+matplotlib is not available in the offline environment, so layouts (the
+counterparts of the paper's Figures 3 and 8) are rendered as character
+grids: ``#`` marks obstacle cells, ``o`` marks cells covered by at least one
+sensing disk, ``*`` marks cells containing a sensor, ``.`` marks uncovered
+free cells and ``B`` marks the base station.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..field import Field
+from ..geometry import Vec2
+
+__all__ = ["render_layout", "render_coverage_bar"]
+
+
+def render_layout(
+    field: Field,
+    positions: Sequence[Vec2],
+    sensing_range: float,
+    width: int = 60,
+    base_station: Vec2 | None = None,
+) -> str:
+    """Render a field and sensor layout as an ASCII grid.
+
+    ``width`` is the number of character columns; the number of rows is
+    scaled to keep cells roughly square (terminal characters are about twice
+    as tall as they are wide).
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    cols = width
+    rows = max(5, int(round(width * field.height / field.width / 2.0)))
+    cell_w = field.width / cols
+    cell_h = field.height / rows
+
+    grid: List[List[str]] = [["." for _ in range(cols)] for _ in range(rows)]
+    r_sq = sensing_range * sensing_range
+
+    for row in range(rows):
+        for col in range(cols):
+            center = Vec2((col + 0.5) * cell_w, (row + 0.5) * cell_h)
+            if field.in_obstacle(center):
+                grid[row][col] = "#"
+                continue
+            for p in positions:
+                dx = center.x - p.x
+                dy = center.y - p.y
+                if dx * dx + dy * dy <= r_sq:
+                    grid[row][col] = "o"
+                    break
+
+    for p in positions:
+        col = min(cols - 1, max(0, int(p.x / cell_w)))
+        row = min(rows - 1, max(0, int(p.y / cell_h)))
+        if grid[row][col] != "#":
+            grid[row][col] = "*"
+
+    if base_station is not None:
+        col = min(cols - 1, max(0, int(base_station.x / cell_w)))
+        row = min(rows - 1, max(0, int(base_station.y / cell_h)))
+        grid[row][col] = "B"
+
+    # Rows are printed top-down (largest y first) so north is up.
+    lines = ["".join(grid[row]) for row in range(rows - 1, -1, -1)]
+    return "\n".join(lines)
+
+
+def render_coverage_bar(label: str, fraction: float, width: int = 40) -> str:
+    """A one-line textual bar chart entry, e.g. for scheme comparisons."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    bar = "=" * filled + " " * (width - filled)
+    return f"{label:<12s} |{bar}| {100.0 * fraction:5.1f}%"

@@ -1,0 +1,15 @@
+"""Voronoi-diagram substrate: full and communication-limited cells."""
+
+from .diagram import VoronoiCell, VoronoiDiagram, compute_cell, minimum_enclosing_circle
+from .local import LocalVoronoiResult, diagram_is_correct, local_cell, local_cells
+
+__all__ = [
+    "VoronoiCell",
+    "VoronoiDiagram",
+    "compute_cell",
+    "minimum_enclosing_circle",
+    "LocalVoronoiResult",
+    "diagram_is_correct",
+    "local_cell",
+    "local_cells",
+]

@@ -1,0 +1,101 @@
+"""Tests for the from-scratch Hungarian algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment import assignment_cost, hungarian, minimum_distance_matching
+
+
+class TestSmallCases:
+    def test_identity_matrix(self):
+        cost = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        assert hungarian(cost) == [0, 1, 2]
+
+    def test_anti_diagonal(self):
+        cost = [[10, 10, 0], [10, 0, 10], [0, 10, 10]]
+        assert hungarian(cost) == [2, 1, 0]
+
+    def test_classic_example(self):
+        cost = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        assignment = hungarian(cost)
+        assert assignment_cost(cost, assignment) == pytest.approx(5.0)
+
+    def test_rectangular_matrix(self):
+        cost = [[1, 2, 3], [3, 1, 2]]
+        assignment = hungarian(cost)
+        assert len(assignment) == 2
+        assert len(set(assignment)) == 2
+        assert assignment_cost(cost, assignment) == pytest.approx(2.0)
+
+    def test_single_element(self):
+        assert hungarian([[5.0]]) == [0]
+
+    def test_empty_matrix(self):
+        assert hungarian(np.empty((0, 0))) == []
+
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian([[1, 2], [3, 4], [5, 6]])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0, float("inf")], [2.0, 3.0]])
+
+
+class TestAgainstScipy:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_scipy_optimal_cost(self, n, extra_cols, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 100, size=(n, n + extra_cols))
+        ours = hungarian(cost)
+        rows, cols = linear_sum_assignment(cost)
+        ours_cost = assignment_cost(cost, ours)
+        scipy_cost = float(cost[rows, cols].sum())
+        assert ours_cost == pytest.approx(scipy_cost, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=10_000))
+    def test_assignment_is_a_valid_matching(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 100, size=(n, n))
+        assignment = hungarian(cost)
+        assert sorted(assignment) == sorted(set(assignment))
+        assert all(0 <= j < n for j in assignment)
+
+
+class TestDistanceMatching:
+    def test_matches_identical_point_sets_with_zero_cost(self):
+        points = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+        assignment, total = minimum_distance_matching(points, points)
+        assert total == pytest.approx(0.0)
+        assert sorted(assignment) == [0, 1, 2]
+
+    def test_simple_swap_is_cheaper(self):
+        sources = [(0.0, 0.0), (10.0, 0.0)]
+        targets = [(10.0, 0.0), (0.0, 0.0)]
+        assignment, total = minimum_distance_matching(sources, targets)
+        assert assignment == [1, 0]
+        assert total == pytest.approx(0.0)
+
+    def test_requires_enough_targets(self):
+        with pytest.raises(ValueError):
+            minimum_distance_matching([(0, 0), (1, 1)], [(0, 0)])
+
+    def test_empty_input(self):
+        assignment, total = minimum_distance_matching([], [])
+        assert assignment == []
+        assert total == 0.0
+
+    def test_total_is_minimal_for_small_instance(self):
+        sources = [(0.0, 0.0), (5.0, 0.0)]
+        targets = [(1.0, 0.0), (100.0, 0.0)]
+        _, total = minimum_distance_matching(sources, targets)
+        # Best: 0->1 (1m), 5->100 (95m) = 96; the alternative is 100 + 4 = 104.
+        assert total == pytest.approx(96.0)

@@ -1,0 +1,63 @@
+"""Tests for the oscillation-avoidance rules (Fig 12)."""
+
+import pytest
+
+from repro.core import OscillationAvoidance, OscillationMode
+from repro.geometry import Vec2
+
+
+class TestModeParsing:
+    def test_parse_one_step(self):
+        assert OscillationMode.from_string("one-step") is OscillationMode.ONE_STEP
+        assert OscillationMode.from_string("ONE_STEP") is OscillationMode.ONE_STEP
+
+    def test_parse_two_step(self):
+        assert OscillationMode.from_string("two-step") is OscillationMode.TWO_STEP
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            OscillationMode.from_string("three-step")
+
+
+class TestOneStep:
+    def test_disabled_when_delta_none(self):
+        avoid = OscillationAvoidance(max_step=2.0, delta=None)
+        assert avoid.threshold() == 0.0
+        assert not avoid.should_cancel(0.01, Vec2(0, 0), Vec2(0.01, 0), None)
+
+    def test_small_step_cancelled(self):
+        avoid = OscillationAvoidance(max_step=2.0, delta=4.0)  # threshold 0.5
+        assert avoid.should_cancel(0.3, Vec2(0, 0), Vec2(0.3, 0), None)
+
+    def test_large_step_allowed(self):
+        avoid = OscillationAvoidance(max_step=2.0, delta=4.0)
+        assert not avoid.should_cancel(1.0, Vec2(0, 0), Vec2(1.0, 0), None)
+
+    def test_smaller_delta_cancels_more(self):
+        aggressive = OscillationAvoidance(max_step=2.0, delta=2.0)   # threshold 1.0
+        permissive = OscillationAvoidance(max_step=2.0, delta=10.0)  # threshold 0.2
+        assert aggressive.should_cancel(0.5, Vec2(0, 0), Vec2(0.5, 0), None)
+        assert not permissive.should_cancel(0.5, Vec2(0, 0), Vec2(0.5, 0), None)
+
+
+class TestTwoStep:
+    def test_requires_history(self):
+        avoid = OscillationAvoidance(
+            max_step=2.0, delta=2.0, mode=OscillationMode.TWO_STEP
+        )
+        assert not avoid.should_cancel(2.0, Vec2(0, 0), Vec2(2, 0), None)
+
+    def test_back_and_forth_cancelled(self):
+        avoid = OscillationAvoidance(
+            max_step=2.0, delta=2.0, mode=OscillationMode.TWO_STEP
+        )
+        # The sensor is about to return next to where it was two steps ago.
+        previous = Vec2(0.1, 0)
+        assert avoid.should_cancel(2.0, Vec2(2, 0), Vec2(0.3, 0), previous)
+
+    def test_forward_progress_allowed(self):
+        avoid = OscillationAvoidance(
+            max_step=2.0, delta=2.0, mode=OscillationMode.TWO_STEP
+        )
+        previous = Vec2(0, 0)
+        assert not avoid.should_cancel(2.0, Vec2(2, 0), Vec2(4, 0), previous)

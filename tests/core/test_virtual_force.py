@@ -1,0 +1,96 @@
+"""Tests for the virtual-force model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import VirtualForceModel
+from repro.field import Field, Obstacle
+from repro.geometry import Vec2
+
+
+def make_model(repulsion=80.0, obstacle=40.0) -> VirtualForceModel:
+    return VirtualForceModel(repulsion_distance=repulsion, obstacle_distance=obstacle)
+
+
+class TestSensorForces:
+    def test_close_neighbor_repels(self):
+        force = make_model().force_from_sensor(Vec2(0, 0), Vec2(10, 0))
+        assert force.x < 0
+        assert force.y == pytest.approx(0.0)
+
+    def test_far_neighbor_exerts_no_force(self):
+        force = make_model(repulsion=80.0).force_from_sensor(Vec2(0, 0), Vec2(100, 0))
+        assert force == Vec2(0, 0)
+
+    def test_force_magnitude_decreases_with_distance(self):
+        model = make_model()
+        near = model.force_from_sensor(Vec2(0, 0), Vec2(10, 0)).norm()
+        far = model.force_from_sensor(Vec2(0, 0), Vec2(70, 0)).norm()
+        assert near > far > 0
+
+    def test_coincident_sensors_get_nonzero_push(self):
+        force = make_model().force_from_sensor(Vec2(5, 5), Vec2(5, 5))
+        assert force.norm() > 0
+
+    def test_symmetric_neighbors_cancel(self):
+        model = make_model()
+        resultant = model.resultant(Vec2(0, 0), [Vec2(10, 0), Vec2(-10, 0)])
+        assert resultant.norm() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestObstacleForces:
+    def test_obstacle_repels_nearby_sensor(self):
+        field = Field(200, 200, [Obstacle.rectangle(80, 80, 120, 120)])
+        model = make_model(obstacle=40.0)
+        force = model.force_from_obstacles(Vec2(70, 100), field)
+        assert force.x < 0  # pushed away from the obstacle (toward -x)
+
+    def test_far_obstacle_is_ignored(self):
+        field = Field(400, 400, [Obstacle.rectangle(300, 300, 350, 350)])
+        model = make_model(obstacle=40.0)
+        force = model.force_from_obstacles(Vec2(200, 200), field)
+        assert force == Vec2(0, 0)
+
+    def test_field_boundary_pushes_inward(self):
+        field = Field(200, 200)
+        model = make_model(obstacle=40.0)
+        force = model.force_from_obstacles(Vec2(5, 100), field)
+        assert force.x > 0
+        force_top = model.force_from_obstacles(Vec2(100, 195), field)
+        assert force_top.y < 0
+
+    def test_center_of_empty_field_is_force_free(self):
+        field = Field(200, 200)
+        force = make_model(obstacle=40.0).force_from_obstacles(Vec2(100, 100), field)
+        assert force == Vec2(0, 0)
+
+    def test_sensor_inside_obstacle_is_pushed_out(self):
+        field = Field(200, 200, [Obstacle.rectangle(80, 80, 120, 120)])
+        force = make_model().force_from_obstacles(Vec2(100, 100), field)
+        assert force.norm() > 0
+
+
+class TestResultantDirection:
+    def test_direction_is_unit_length(self):
+        model = make_model()
+        direction = model.direction(Vec2(0, 0), [Vec2(10, 0), Vec2(0, 15)])
+        assert direction.norm() == pytest.approx(1.0)
+
+    def test_direction_zero_at_equilibrium(self):
+        model = make_model()
+        direction = model.direction(Vec2(0, 0), [])
+        assert direction == Vec2(0, 0)
+
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    )
+    def test_single_neighbor_force_points_away(self, dx, dy):
+        if abs(dx) < 1e-6 and abs(dy) < 1e-6:
+            return
+        model = make_model()
+        neighbor = Vec2(dx, dy)
+        force = model.force_from_sensor(Vec2(0, 0), neighbor)
+        if force.norm() > 0:
+            # The force must point away from the neighbour.
+            assert force.dot(Vec2(0, 0) - neighbor) > 0

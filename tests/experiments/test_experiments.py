@@ -1,0 +1,153 @@
+"""Smoke tests for the experiment harness (runs at SMOKE_SCALE)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    SMOKE_SCALE,
+    format_fig3,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_fig12,
+    format_fig13,
+    format_table1,
+    run_experiment,
+    run_fig3,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_table1,
+)
+from repro.experiments.common import make_config, make_world, run_scheme, scheme_factory
+
+
+class TestCommonHelpers:
+    def test_make_config_uses_scale(self):
+        config = make_config(SMOKE_SCALE, communication_range=50.0, sensing_range=30.0)
+        assert config.sensor_count == SMOKE_SCALE.sensor_count
+        assert config.duration == SMOKE_SCALE.duration
+        assert config.communication_range == 50.0
+
+    def test_make_world_clusters_sensors(self):
+        config = make_config(SMOKE_SCALE)
+        world = make_world(config, SMOKE_SCALE)
+        for sensor in world.sensors:
+            assert sensor.position.x <= SMOKE_SCALE.field_size / 2.0 + 1e-9
+            assert sensor.position.y <= SMOKE_SCALE.field_size / 2.0 + 1e-9
+
+    def test_scheme_factory_names(self):
+        config = make_config(SMOKE_SCALE)
+        assert scheme_factory("CPVF", config)().name == "CPVF"
+        assert scheme_factory("floor", config)().name == "FLOOR"
+        with pytest.raises(ValueError):
+            scheme_factory("unknown", config)
+
+    def test_run_scheme_returns_result_with_world(self):
+        result = run_scheme("CPVF", SMOKE_SCALE, seed=3)
+        assert result.world is not None
+        assert 0.0 <= result.final_coverage <= 1.0
+
+    def test_scaled_count(self):
+        assert SMOKE_SCALE.scaled_count(240) == SMOKE_SCALE.sensor_count
+
+
+class TestFig3AndFig8:
+    def test_fig3_rows(self):
+        rows = run_fig3(SMOKE_SCALE, seed=2)
+        assert [r.scenario for r in rows] == ["a", "b", "c"]
+        assert all(0.0 <= r.coverage <= 1.0 for r in rows)
+        report = format_fig3(rows)
+        assert "Figure 3" in report
+
+    def test_fig8_rows_use_floor_paper_values(self):
+        rows = run_fig8(SMOKE_SCALE, seed=2)
+        assert rows[0].paper_coverage == pytest.approx(0.788)
+        assert all(0.0 <= r.coverage <= 1.0 for r in rows)
+
+
+class TestSweeps:
+    def test_fig9_structure(self):
+        rows = run_fig9(
+            SMOKE_SCALE,
+            sensor_counts=[120],
+            range_pairs=[(60.0, 40.0)],
+            seed=2,
+        )
+        schemes = {r.scheme for r in rows}
+        assert schemes == {"CPVF", "FLOOR", "OPT"}
+        assert "Figure 9" in format_fig9(rows)
+
+    def test_fig10_structure(self):
+        rows = run_fig10(SMOKE_SCALE, ratios=[1.0, 3.0], vd_rounds=3, seed=2)
+        schemes = {r.scheme for r in rows}
+        assert schemes == {"FLOOR", "VOR", "Minimax"}
+        # The connectivity flag should improve (or stay) as rc/rs grows.
+        vor_small = next(r for r in rows if r.scheme == "VOR" and r.ratio == 1.0)
+        vor_large = next(r for r in rows if r.scheme == "VOR" and r.ratio == 3.0)
+        assert vor_large.coverage >= 0.0 and vor_small.coverage >= 0.0
+        assert "Figure 10" in format_fig10(rows)
+
+    def test_fig11_contains_all_six_schemes(self):
+        rows = run_fig11(SMOKE_SCALE, vd_rounds=2, seed=2)
+        names = {r.scheme for r in rows}
+        assert names == {
+            "CPVF",
+            "FLOOR",
+            "VOR",
+            "Minimax",
+            "OPT-Hungarian",
+            "FLOOR-Hungarian",
+        }
+        assert all(r.average_moving_distance >= 0.0 for r in rows)
+        assert "Figure 11" in format_fig11(rows)
+
+    def test_fig12_sweep(self):
+        rows = run_fig12(SMOKE_SCALE, deltas=[None, 2.0], modes=["one-step"], seed=2)
+        assert len(rows) == 2
+        damped = next(r for r in rows if r.delta == 2.0)
+        plain = next(r for r in rows if r.delta is None)
+        assert damped.average_moving_distance <= plain.average_moving_distance + 1e-6
+        assert "Figure 12" in format_fig12(rows)
+
+    def test_fig13_summary(self):
+        summary = run_fig13(SMOKE_SCALE, repetitions=1, seed=2)
+        assert len(summary.runs) == 2
+        assert summary.mean_coverage("FLOOR") >= 0.0
+        assert summary.coverage_cdf("CPVF").values
+        assert "Figure 13" in format_fig13(summary, cdf_points=3)
+
+    def test_table1_rows(self):
+        rows = run_table1(
+            SMOKE_SCALE,
+            sensor_counts=[120],
+            ttl_fractions=[0.1, 0.3],
+            environments=["non-obstacle"],
+            seed=2,
+        )
+        assert len(rows) == 2
+        low = next(r for r in rows if r.ttl_fraction == 0.1)
+        high = next(r for r in rows if r.ttl_fraction == 0.3)
+        assert high.total_messages >= low.total_messages
+        assert "Table 1" in format_table1(rows)
+
+
+class TestRunner:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table1",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", SMOKE_SCALE)

@@ -1,0 +1,143 @@
+"""Tests for the field model."""
+
+import pytest
+
+from repro.field import Field, Obstacle
+from repro.geometry import Circle, Segment, Vec2
+
+
+@pytest.fixture
+def empty_field() -> Field:
+    return Field(100.0, 100.0)
+
+
+@pytest.fixture
+def field_with_block() -> Field:
+    return Field(100.0, 100.0, [Obstacle.rectangle(40, 40, 60, 60)])
+
+
+class TestBasics:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Field(-1.0, 10.0)
+
+    def test_bounds_and_area(self, empty_field):
+        assert empty_field.bounds == (0.0, 0.0, 100.0, 100.0)
+        assert empty_field.area() == pytest.approx(10000.0)
+
+    def test_boundary_edges(self, empty_field):
+        assert len(empty_field.boundary_edges()) == 4
+
+    def test_free_area_subtracts_obstacles(self, field_with_block):
+        free = field_with_block.free_area(resolution=2.0)
+        assert free == pytest.approx(10000.0 - 400.0, rel=0.05)
+
+    def test_with_obstacles_copy(self, empty_field):
+        modified = empty_field.with_obstacles([Obstacle.rectangle(0, 0, 10, 10)])
+        assert len(modified.obstacles) == 1
+        assert len(empty_field.obstacles) == 0
+
+
+class TestPointQueries:
+    def test_in_bounds(self, empty_field):
+        assert empty_field.in_bounds(Vec2(50, 50))
+        assert not empty_field.in_bounds(Vec2(150, 50))
+
+    def test_is_free(self, field_with_block):
+        assert field_with_block.is_free(Vec2(10, 10))
+        assert not field_with_block.is_free(Vec2(50, 50))
+        assert not field_with_block.is_free(Vec2(150, 50))
+
+    def test_clamp(self, empty_field):
+        assert empty_field.clamp(Vec2(150, -10)) == Vec2(100, 0)
+
+    def test_nearest_free_returns_input_when_free(self, field_with_block):
+        assert field_with_block.nearest_free(Vec2(10, 10)) == Vec2(10, 10)
+
+    def test_nearest_free_escapes_obstacle(self, field_with_block):
+        p = field_with_block.nearest_free(Vec2(50, 50))
+        assert field_with_block.is_free(p)
+
+
+class TestMotionQueries:
+    def test_segment_blocked_by_obstacle(self, field_with_block):
+        assert field_with_block.segment_blocked(Segment(Vec2(10, 50), Vec2(90, 50)))
+
+    def test_segment_not_blocked_in_clear_area(self, field_with_block):
+        assert not field_with_block.segment_blocked(Segment(Vec2(10, 10), Vec2(90, 10)))
+
+    def test_segment_blocked_when_leaving_field(self, empty_field):
+        assert empty_field.segment_blocked(Segment(Vec2(50, 50), Vec2(150, 50)))
+
+    def test_first_obstacle_hit(self, field_with_block):
+        hit = field_with_block.first_obstacle_hit(Segment(Vec2(10, 50), Vec2(90, 50)))
+        assert hit is not None
+        obstacle, point = hit
+        assert point.almost_equals(Vec2(40, 50))
+
+    def test_first_obstacle_hit_none(self, field_with_block):
+        assert field_with_block.first_obstacle_hit(Segment(Vec2(0, 0), Vec2(10, 0))) is None
+
+    def test_max_free_travel_unblocked(self, empty_field):
+        travelled = empty_field.max_free_travel(Vec2(10, 10), Vec2(1, 0), 20.0)
+        assert travelled == pytest.approx(20.0)
+
+    def test_max_free_travel_stops_before_obstacle(self, field_with_block):
+        travelled = field_with_block.max_free_travel(Vec2(10, 50), Vec2(1, 0), 80.0)
+        assert travelled <= 30.0 + 1.0
+        end = Vec2(10, 50) + Vec2(1, 0) * travelled
+        assert field_with_block.is_free(end)
+
+    def test_max_free_travel_stops_at_field_edge(self, empty_field):
+        travelled = empty_field.max_free_travel(Vec2(90, 50), Vec2(1, 0), 50.0)
+        assert travelled <= 10.0 + 1e-6
+
+
+class TestBoundaryVisibility:
+    def test_sees_field_boundary_near_edge(self, empty_field):
+        segments = empty_field.boundary_segments_within(Circle(Vec2(5, 50), 10))
+        assert len(segments) == 1
+        assert all(abs(s.a.x) < 1e-6 and abs(s.b.x) < 1e-6 for s in segments)
+
+    def test_sees_nothing_in_the_middle(self, empty_field):
+        assert empty_field.boundary_segments_within(Circle(Vec2(50, 50), 10)) == []
+
+    def test_sees_obstacle_boundary(self, field_with_block):
+        segments = field_with_block.boundary_segments_within(Circle(Vec2(35, 50), 10))
+        assert len(segments) >= 1
+
+    def test_corner_sees_two_edges(self, empty_field):
+        segments = empty_field.boundary_segments_within(Circle(Vec2(3, 3), 10))
+        assert len(segments) == 2
+
+
+class TestCoverage:
+    def test_full_coverage(self, empty_field):
+        assert empty_field.coverage_fraction([Vec2(50, 50)], 200.0, 5.0) == pytest.approx(1.0)
+
+    def test_no_sensors_no_coverage(self, empty_field):
+        assert empty_field.coverage_fraction([], 50.0, 5.0) == 0.0
+
+    def test_quarter_disk_coverage(self, empty_field):
+        cov = empty_field.coverage_fraction([Vec2(0, 0)], 50.0, 2.0)
+        import math
+
+        assert cov == pytest.approx(math.pi * 2500 / 4 / 10000, abs=0.02)
+
+    def test_obstacle_area_excluded_from_denominator(self, field_with_block):
+        # A sensor covering the whole field yields coverage 1.0 even though
+        # obstacle cells are never counted as covered.
+        assert field_with_block.coverage_fraction([Vec2(50, 10)], 500.0, 2.0) == pytest.approx(1.0)
+
+
+class TestFreeSpaceConnectivity:
+    def test_empty_field_connected(self, empty_field):
+        assert empty_field.free_space_connected(resolution=10.0)
+
+    def test_small_obstacle_keeps_connectivity(self, field_with_block):
+        assert field_with_block.free_space_connected(resolution=5.0)
+
+    def test_wall_disconnects_field(self):
+        wall = Obstacle.rectangle(45, -1, 55, 101)
+        field = Field(100.0, 100.0, [wall])
+        assert not field.free_space_connected(resolution=5.0)

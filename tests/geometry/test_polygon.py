@@ -1,0 +1,150 @@
+"""Unit and property tests for polygons."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Polygon, Segment, Vec2
+
+
+def unit_square() -> Polygon:
+    return Polygon.rectangle(0, 0, 10, 10)
+
+
+class TestConstruction:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Vec2(0, 0), Vec2(1, 1)])
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(5, 5, 5, 10)
+
+    def test_regular_polygon_vertex_count(self):
+        hexagon = Polygon.regular(Vec2(0, 0), 10, 6)
+        assert len(hexagon.vertices) == 6
+
+    def test_regular_polygon_needs_three_sides(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Vec2(0, 0), 10, 2)
+
+
+class TestMeasures:
+    def test_rectangle_area(self):
+        assert unit_square().area() == pytest.approx(100.0)
+
+    def test_rectangle_perimeter(self):
+        assert unit_square().perimeter() == pytest.approx(40.0)
+
+    def test_signed_area_positive_ccw(self):
+        assert unit_square().signed_area() > 0
+
+    def test_signed_area_negative_cw(self):
+        cw = Polygon(list(reversed(unit_square().vertices)))
+        assert cw.signed_area() < 0
+        assert cw.counter_clockwise().signed_area() > 0
+
+    def test_centroid_of_rectangle(self):
+        assert unit_square().centroid().almost_equals(Vec2(5, 5))
+
+    def test_bounding_box(self):
+        assert unit_square().bounding_box() == (0, 0, 10, 10)
+
+    def test_triangle_area(self):
+        tri = Polygon([Vec2(0, 0), Vec2(10, 0), Vec2(0, 10)])
+        assert tri.area() == pytest.approx(50.0)
+
+    def test_edges_count(self):
+        assert len(unit_square().edges()) == 4
+
+    def test_convexity(self):
+        assert unit_square().is_convex()
+        concave = Polygon([Vec2(0, 0), Vec2(10, 0), Vec2(10, 10), Vec2(5, 5), Vec2(0, 10)])
+        assert not concave.is_convex()
+
+
+class TestContainment:
+    def test_contains_interior_point(self):
+        assert unit_square().contains(Vec2(5, 5))
+
+    def test_does_not_contain_exterior_point(self):
+        assert not unit_square().contains(Vec2(15, 5))
+
+    def test_boundary_point_included_by_default(self):
+        assert unit_square().contains(Vec2(0, 5))
+
+    def test_boundary_point_excluded_when_requested(self):
+        assert not unit_square().contains(Vec2(0, 5), include_boundary=False)
+
+    def test_on_boundary(self):
+        assert unit_square().on_boundary(Vec2(10, 3))
+        assert not unit_square().on_boundary(Vec2(5, 5))
+
+    def test_distance_to_point(self):
+        assert unit_square().distance_to_point(Vec2(5, 5)) == 0.0
+        assert unit_square().distance_to_point(Vec2(13, 5)) == pytest.approx(3.0)
+
+    def test_boundary_distance_inside(self):
+        assert unit_square().boundary_distance_to_point(Vec2(5, 5)) == pytest.approx(5.0)
+
+    def test_closest_boundary_point(self):
+        p = unit_square().closest_boundary_point(Vec2(5, 20))
+        assert p.almost_equals(Vec2(5, 10))
+
+
+class TestSegmentQueries:
+    def test_intersects_crossing_segment(self):
+        assert unit_square().intersects_segment(Segment(Vec2(-5, 5), Vec2(15, 5)))
+
+    def test_does_not_intersect_far_segment(self):
+        assert not unit_square().intersects_segment(Segment(Vec2(20, 20), Vec2(30, 30)))
+
+    def test_segment_crosses_interior(self):
+        assert unit_square().segment_crosses_interior(Segment(Vec2(-5, 5), Vec2(15, 5)))
+
+    def test_grazing_segment_does_not_cross_interior(self):
+        grazing = Segment(Vec2(-5, 10), Vec2(15, 10))
+        assert not unit_square().segment_crosses_interior(grazing)
+
+    def test_segment_intersections_sorted(self):
+        pts = unit_square().segment_intersections(Segment(Vec2(-5, 5), Vec2(15, 5)))
+        assert len(pts) == 2
+        assert pts[0].x < pts[1].x
+
+    def test_contained_segment_has_no_boundary_intersections(self):
+        pts = unit_square().segment_intersections(Segment(Vec2(2, 2), Vec2(8, 8)))
+        assert pts == []
+
+
+class TestTransforms:
+    def test_translation(self):
+        moved = unit_square().translated(Vec2(5, 5))
+        assert moved.centroid().almost_equals(Vec2(10, 10))
+        assert moved.area() == pytest.approx(100.0)
+
+    def test_scaling_about_centroid(self):
+        scaled = unit_square().scaled(2.0)
+        assert scaled.area() == pytest.approx(400.0)
+        assert scaled.centroid().almost_equals(Vec2(5, 5))
+
+
+class TestProperties:
+    sizes = st.floats(min_value=1.0, max_value=500.0)
+    offsets = st.floats(min_value=-500.0, max_value=500.0)
+
+    @given(offsets, offsets, sizes, sizes)
+    def test_rectangle_area_matches_dimensions(self, x, y, w, h):
+        rect = Polygon.rectangle(x, y, x + w, y + h)
+        assert rect.area() == pytest.approx(w * h, rel=1e-9)
+
+    @given(offsets, offsets, sizes, sizes)
+    def test_rectangle_contains_its_centroid(self, x, y, w, h):
+        rect = Polygon.rectangle(x, y, x + w, y + h)
+        assert rect.contains(rect.centroid())
+
+    @given(st.integers(min_value=3, max_value=12), sizes)
+    def test_regular_polygon_area_below_circle(self, sides, r):
+        poly = Polygon.regular(Vec2(0, 0), r, sides)
+        assert poly.area() <= math.pi * r * r + 1e-6
+        assert poly.is_convex()

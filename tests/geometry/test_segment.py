@@ -1,0 +1,144 @@
+"""Unit and property tests for line segments."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Segment, Vec2, on_segment, orientation
+
+coord = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Vec2, coord, coord)
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Vec2(0, 0), Vec2(3, 4)).length() == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert Segment(Vec2(0, 0), Vec2(4, 6)).midpoint() == Vec2(2, 3)
+
+    def test_direction(self):
+        assert Segment(Vec2(0, 0), Vec2(10, 0)).direction().almost_equals(Vec2(1, 0))
+
+    def test_point_at(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.point_at(0.3).almost_equals(Vec2(3, 0))
+
+    def test_reversed(self):
+        s = Segment(Vec2(1, 2), Vec2(3, 4))
+        assert s.reversed() == Segment(Vec2(3, 4), Vec2(1, 2))
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Vec2(0, 0), Vec2(1, 0), Vec2(1, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Vec2(0, 0), Vec2(1, 0), Vec2(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation(Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)) == 0
+
+    def test_on_segment(self):
+        assert on_segment(Vec2(1, 0), Vec2(0, 0), Vec2(2, 0))
+        assert not on_segment(Vec2(3, 0), Vec2(0, 0), Vec2(2, 0))
+
+
+class TestDistances:
+    def test_distance_to_point_perpendicular(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.distance_to_point(Vec2(5, 3)) == pytest.approx(3.0)
+
+    def test_distance_to_point_beyond_endpoint(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.distance_to_point(Vec2(13, 4)) == pytest.approx(5.0)
+
+    def test_closest_point_clamps(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.closest_point(Vec2(-5, 5)).almost_equals(Vec2(0, 0))
+
+    def test_contains_point(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 10))
+        assert s.contains_point(Vec2(5, 5))
+        assert not s.contains_point(Vec2(5, 6))
+
+    def test_segment_to_segment_distance(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+        s2 = Segment(Vec2(0, 5), Vec2(10, 5))
+        assert s1.distance_to_segment(s2) == pytest.approx(5.0)
+
+    def test_intersecting_segments_have_zero_distance(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 10))
+        s2 = Segment(Vec2(0, 10), Vec2(10, 0))
+        assert s1.distance_to_segment(s2) == 0.0
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+        s2 = Segment(Vec2(5, -5), Vec2(5, 5))
+        assert s1.intersects(s2)
+        assert s1.intersection(s2).almost_equals(Vec2(5, 0))
+
+    def test_non_crossing_segments(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+        s2 = Segment(Vec2(0, 1), Vec2(10, 1))
+        assert not s1.intersects(s2)
+        assert s1.intersection(s2) is None
+
+    def test_touching_at_endpoint(self):
+        s1 = Segment(Vec2(0, 0), Vec2(5, 0))
+        s2 = Segment(Vec2(5, 0), Vec2(5, 5))
+        assert s1.intersects(s2)
+        assert s1.intersection(s2).almost_equals(Vec2(5, 0))
+
+    def test_collinear_overlap_reports_no_unique_point(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+        s2 = Segment(Vec2(5, 0), Vec2(15, 0))
+        assert s1.intersects(s2)
+        assert s1.intersection(s2) is None
+
+    def test_intersection_parameters(self):
+        s1 = Segment(Vec2(0, 0), Vec2(10, 0))
+        s2 = Segment(Vec2(5, -5), Vec2(5, 5))
+        t, u = s1.intersection_parameters(s2)
+        assert t == pytest.approx(0.5)
+        assert u == pytest.approx(0.5)
+
+
+class TestClipping:
+    def test_fully_inside(self):
+        s = Segment(Vec2(1, 1), Vec2(2, 2))
+        assert s.clip_to_box(0, 0, 10, 10) == s
+
+    def test_fully_outside(self):
+        s = Segment(Vec2(20, 20), Vec2(30, 30))
+        assert s.clip_to_box(0, 0, 10, 10) is None
+
+    def test_crossing_boundary(self):
+        s = Segment(Vec2(-5, 5), Vec2(15, 5))
+        clipped = s.clip_to_box(0, 0, 10, 10)
+        assert clipped.a.almost_equals(Vec2(0, 5))
+        assert clipped.b.almost_equals(Vec2(10, 5))
+
+
+class TestProperties:
+    @given(points, points, points, points)
+    def test_intersection_is_symmetric(self, a, b, c, d):
+        s1, s2 = Segment(a, b), Segment(c, d)
+        assert s1.intersects(s2) == s2.intersects(s1)
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        mid = Segment(a, b).midpoint()
+        assert mid.distance_to(a) == pytest.approx(mid.distance_to(b), abs=1e-6)
+
+    @given(points, points, points)
+    def test_distance_to_point_not_more_than_endpoint_distance(self, a, b, p):
+        s = Segment(a, b)
+        assert s.distance_to_point(p) <= min(p.distance_to(a), p.distance_to(b)) + 1e-6
+
+    @given(points, points, st.floats(min_value=0, max_value=1))
+    def test_points_on_segment_have_zero_distance(self, a, b, t):
+        s = Segment(a, b)
+        p = s.point_at(t)
+        assert s.distance_to_point(p) == pytest.approx(0.0, abs=1e-6)

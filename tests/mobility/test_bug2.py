@@ -1,0 +1,117 @@
+"""Tests for the BUG2 path planner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.field import Field, Obstacle, two_obstacle_field
+from repro.geometry import Segment, Vec2
+from repro.mobility import Bug2Planner, Handedness
+
+
+@pytest.fixture
+def empty_field() -> Field:
+    return Field(1000.0, 1000.0)
+
+
+@pytest.fixture
+def field_with_block() -> Field:
+    return Field(1000.0, 1000.0, [Obstacle.rectangle(400, 400, 600, 600)])
+
+
+class TestStraightLine:
+    def test_unobstructed_path_is_straight(self, empty_field):
+        planner = Bug2Planner(empty_field)
+        path = planner.plan(Vec2(100, 100), Vec2(900, 900))
+        assert path.reached_target
+        assert path.encounters == 0
+        assert path.length() == pytest.approx(Vec2(100, 100).distance_to(Vec2(900, 900)))
+
+    def test_zero_length_path(self, empty_field):
+        planner = Bug2Planner(empty_field)
+        path = planner.plan(Vec2(100, 100), Vec2(100, 100))
+        assert path.reached_target
+        assert path.length() == pytest.approx(0.0)
+
+    def test_path_point_at_distance(self, empty_field):
+        planner = Bug2Planner(empty_field)
+        path = planner.plan(Vec2(0, 0), Vec2(100, 0))
+        assert path.point_at_distance(25).almost_equals(Vec2(25, 0))
+        assert path.point_at_distance(1e9).almost_equals(Vec2(100, 0))
+        assert path.point_at_distance(-5).almost_equals(Vec2(0, 0))
+
+
+class TestObstacleAvoidance:
+    def test_path_goes_around_obstacle(self, field_with_block):
+        planner = Bug2Planner(field_with_block)
+        path = planner.plan(Vec2(100, 500), Vec2(900, 500))
+        assert path.reached_target
+        assert path.encounters >= 1
+        # The path must be longer than the straight line but bounded by BUG2's
+        # worst case D + n*l/2.
+        direct = Vec2(100, 500).distance_to(Vec2(900, 500))
+        assert path.length() > direct
+        assert path.length() <= planner.path_length_upper_bound(
+            Vec2(100, 500), Vec2(900, 500)
+        ) + 10.0
+
+    def test_waypoints_stay_in_free_space(self, field_with_block):
+        planner = Bug2Planner(field_with_block)
+        path = planner.plan(Vec2(100, 500), Vec2(900, 500))
+        for waypoint in path.waypoints:
+            assert field_with_block.is_free(waypoint)
+
+    def test_path_segments_do_not_cross_obstacles(self, field_with_block):
+        planner = Bug2Planner(field_with_block)
+        path = planner.plan(Vec2(100, 450), Vec2(900, 550))
+        for a, b in zip(path.waypoints, path.waypoints[1:]):
+            assert not field_with_block.segment_blocked(Segment(a, b))
+
+    def test_left_and_right_hand_rules_detour_to_different_sides(self, field_with_block):
+        right = Bug2Planner(field_with_block, Handedness.RIGHT)
+        left = Bug2Planner(field_with_block, Handedness.LEFT)
+        start, target = Vec2(100, 500), Vec2(900, 500)
+        right_path = right.plan(start, target)
+        left_path = left.plan(start, target)
+        assert right_path.reached_target and left_path.reached_target
+        right_ys = [p.y for p in right_path.waypoints[1:-1]]
+        left_ys = [p.y for p in left_path.waypoints[1:-1]]
+        if right_ys and left_ys:
+            assert (max(right_ys) > 600) != (max(left_ys) > 600)
+
+    def test_two_obstacle_canonical_field(self):
+        field = two_obstacle_field()
+        planner = Bug2Planner(field)
+        # From inside the cluster quadrant past both obstacles.
+        path = planner.plan(Vec2(300, 300), Vec2(900, 900))
+        assert path.reached_target
+        for a, b in zip(path.waypoints, path.waypoints[1:]):
+            assert not field.segment_blocked(Segment(a, b))
+
+    def test_start_inside_obstacle_is_projected_out(self, field_with_block):
+        planner = Bug2Planner(field_with_block)
+        path = planner.plan(Vec2(500, 500), Vec2(100, 100))
+        assert field_with_block.is_free(path.start())
+        assert path.reached_target
+
+
+class TestRandomizedCourses:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_rectangles_are_circumnavigated(self, seed):
+        rng = random.Random(seed)
+        # One random rectangular obstacle strictly inside the field.
+        x0 = rng.uniform(200, 600)
+        y0 = rng.uniform(200, 600)
+        w = rng.uniform(50, 250)
+        h = rng.uniform(50, 250)
+        field = Field(1000.0, 1000.0, [Obstacle.rectangle(x0, y0, x0 + w, y0 + h)])
+        planner = Bug2Planner(field)
+        start = Vec2(50, 50)
+        target = Vec2(950, 950)
+        path = planner.plan(start, target)
+        assert path.reached_target
+        assert path.length() <= planner.path_length_upper_bound(start, target) + 10.0
+        for a, b in zip(path.waypoints, path.waypoints[1:]):
+            assert not field.segment_blocked(Segment(a, b))

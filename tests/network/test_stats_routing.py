@@ -1,0 +1,112 @@
+"""Tests for message accounting and routing cost models."""
+
+import pytest
+
+from repro.network import (
+    BASE_STATION_ID,
+    ConnectivityTree,
+    Message,
+    MessageStats,
+    MessageType,
+    RoutingCostModel,
+)
+
+
+def chain_tree(depth: int) -> ConnectivityTree:
+    tree = ConnectivityTree()
+    tree.attach(0, BASE_STATION_ID)
+    for i in range(1, depth):
+        tree.attach(i, i - 1)
+    return tree
+
+
+class TestMessageStats:
+    def test_record_message_cost(self):
+        stats = MessageStats()
+        stats.record(Message(MessageType.INVITATION, source=1, hops=5))
+        assert stats.total() == 5
+        assert stats.total_for(MessageType.INVITATION) == 5
+
+    def test_record_transmissions(self):
+        stats = MessageStats()
+        stats.record_transmissions(MessageType.COVERAGE_QUERY, 7)
+        assert stats.total() == 7
+
+    def test_negative_count_rejected(self):
+        stats = MessageStats()
+        with pytest.raises(ValueError):
+            stats.record_transmissions(MessageType.COVERAGE_QUERY, -1)
+
+    def test_average_per_node(self):
+        stats = MessageStats()
+        stats.record_transmissions(MessageType.INVITATION, 100)
+        assert stats.average_per_node(50) == pytest.approx(2.0)
+        assert stats.average_per_node(0) == 0.0
+
+    def test_merge_and_reset(self):
+        a, b = MessageStats(), MessageStats()
+        a.record_transmissions(MessageType.INVITATION, 3)
+        b.record_transmissions(MessageType.INVITATION, 4)
+        merged = a.merge(b)
+        assert merged.total() == 7
+        a.reset()
+        assert a.total() == 0
+
+    def test_by_type_breakdown(self):
+        stats = MessageStats()
+        stats.record_transmissions(MessageType.INVITATION, 3)
+        stats.record_transmissions(MessageType.ACKNOWLEDGE, 1)
+        breakdown = stats.by_type()
+        assert breakdown[MessageType.INVITATION] == 3
+        assert breakdown[MessageType.ACKNOWLEDGE] == 1
+
+
+class TestRoutingCosts:
+    def test_flood_cost_equals_member_count(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        assert routing.record_flood(25) == 25
+        assert stats.total() == 25
+
+    def test_to_base_station_cost_is_depth(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        tree = chain_tree(5)
+        assert routing.record_to_base_station(tree, 4, MessageType.ARRIVAL_REPORT) == 5
+
+    def test_tree_unicast_through_common_ancestor(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        tree = ConnectivityTree()
+        tree.attach(0, BASE_STATION_ID)
+        tree.attach(1, 0)
+        tree.attach(2, 0)
+        # 1 -> 0 -> 2 is two hops.
+        assert routing.record_tree_unicast(tree, 1, 2, MessageType.ACKNOWLEDGE) == 2
+
+    def test_tree_unicast_same_node(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        tree = chain_tree(3)
+        assert routing.tree_route_hops(tree, 2, 2) == 0
+
+    def test_random_walk_cost(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        assert routing.record_random_walk(48, MessageType.INVITATION) == 48
+        assert stats.total_for(MessageType.INVITATION) == 48
+
+    def test_one_hop_cost(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        routing.record_one_hop(MessageType.NEIGHBOR_STATE, 3)
+        assert stats.total_for(MessageType.NEIGHBOR_STATE) == 3
+
+    def test_subtree_lock_cost(self):
+        stats = MessageStats()
+        routing = RoutingCostModel(stats)
+        tree = chain_tree(4)
+        cost = routing.record_subtree_lock(tree, 0)
+        # Subtree of 0 is the whole chain: 4 nodes, 3 edges, 6 transmissions.
+        assert cost == 6
+        assert stats.total() == 6

@@ -1,0 +1,73 @@
+"""Tests for the sensor node model and its states."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.mobility import MotionModel
+from repro.sensors import Sensor, SensorState
+
+
+def make_sensor(rc=60.0, rs=40.0) -> Sensor:
+    return Sensor(
+        sensor_id=7,
+        motion=MotionModel(position=Vec2(10, 20), max_speed=2.0, period=1.0),
+        communication_range=rc,
+        sensing_range=rs,
+    )
+
+
+class TestSensor:
+    def test_initial_state_is_disconnected(self):
+        assert make_sensor().state is SensorState.DISCONNECTED
+        assert not make_sensor().is_connected()
+
+    def test_position_delegates_to_motion(self):
+        sensor = make_sensor()
+        assert sensor.position == Vec2(10, 20)
+        sensor.position = Vec2(0, 0)
+        assert sensor.motion.position == Vec2(0, 0)
+
+    def test_moving_distance_tracks_odometer(self):
+        sensor = make_sensor()
+        sensor.motion.move_to(Vec2(13, 24))
+        assert sensor.moving_distance == pytest.approx(5.0)
+
+    def test_disks(self):
+        sensor = make_sensor(rc=50, rs=30)
+        assert sensor.sensing_disk().radius == 30
+        assert sensor.communication_disk().radius == 50
+
+    def test_expansion_circle_radius(self):
+        assert make_sensor(rc=60, rs=40).expansion_circle_radius() == 40
+        assert make_sensor(rc=30, rs=40).expansion_circle_radius() == 30
+
+    def test_in_communication_range(self):
+        a = make_sensor(rc=60)
+        b = make_sensor(rc=60)
+        b.position = Vec2(10 + 59, 20)
+        assert a.in_communication_range(b)
+        b.position = Vec2(10 + 61, 20)
+        assert not a.in_communication_range(b)
+
+    def test_covers(self):
+        sensor = make_sensor(rs=40)
+        assert sensor.covers(Vec2(10, 59))
+        assert not sensor.covers(Vec2(10, 61))
+
+    def test_set_parent_records_ancestors(self):
+        sensor = make_sensor()
+        sensor.set_parent(3, [3, 1, -1])
+        assert sensor.parent_id == 3
+        assert sensor.ancestors == [3, 1, -1]
+
+
+class TestSensorState:
+    def test_connected_states(self):
+        assert SensorState.CONNECTED.is_connected()
+        assert SensorState.FIXED.is_connected()
+        assert SensorState.MOVABLE.is_connected()
+        assert SensorState.RELOCATING.is_connected()
+
+    def test_disconnected_states(self):
+        assert not SensorState.DISCONNECTED.is_connected()
+        assert not SensorState.MOVING_TO_CONNECT.is_connected()

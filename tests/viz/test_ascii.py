@@ -1,0 +1,57 @@
+"""Tests for the ASCII layout renderer."""
+
+import pytest
+
+from repro.field import Field, Obstacle
+from repro.geometry import Vec2
+from repro.viz import render_coverage_bar, render_layout
+
+
+class TestRenderLayout:
+    def test_dimensions(self):
+        field = Field(100.0, 100.0)
+        art = render_layout(field, [], 10.0, width=40)
+        lines = art.splitlines()
+        assert all(len(line) == 40 for line in lines)
+        assert len(lines) >= 5
+
+    def test_sensor_marker_present(self):
+        field = Field(100.0, 100.0)
+        art = render_layout(field, [Vec2(50, 50)], 10.0, width=40)
+        assert "*" in art
+        assert "o" in art
+
+    def test_obstacle_marker_present(self):
+        field = Field(100.0, 100.0, [Obstacle.rectangle(40, 40, 60, 60)])
+        art = render_layout(field, [], 10.0, width=40)
+        assert "#" in art
+
+    def test_base_station_marker(self):
+        field = Field(100.0, 100.0)
+        art = render_layout(field, [], 10.0, width=40, base_station=Vec2(0, 0))
+        # The base station is at the origin, i.e. bottom-left of the picture.
+        assert art.splitlines()[-1][0] == "B"
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            render_layout(Field(100.0, 100.0), [], 10.0, width=5)
+
+    def test_empty_field_is_all_dots(self):
+        field = Field(100.0, 100.0)
+        art = render_layout(field, [], 10.0, width=20)
+        assert set(art.replace("\n", "")) == {"."}
+
+
+class TestCoverageBar:
+    def test_full_bar(self):
+        bar = render_coverage_bar("FLOOR", 1.0, width=10)
+        assert "==========" in bar
+        assert "100.0%" in bar
+
+    def test_empty_bar(self):
+        bar = render_coverage_bar("CPVF", 0.0, width=10)
+        assert "=" not in bar
+        assert "0.0%" in bar
+
+    def test_clamping(self):
+        assert "100.0%" in render_coverage_bar("X", 1.5, width=10)
