@@ -37,6 +37,19 @@ def sweep_scale() -> ExperimentScale:
     return SMOKE_SCALE
 
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Run a workload exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+@pytest.fixture(scope="session")
+def run_once():
+    """Run a workload exactly once under pytest-benchmark timing.
+
+    Provided as a fixture (not a module-level helper) so benchmark modules
+    need no imports from this conftest: relative imports fail under plain
+    rootdir collection (``python -m pytest`` from the repo root) because
+    ``benchmarks`` is not a package.
+    """
+
+    def _run_once(benchmark, func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run_once

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the repo-root ``BENCH_perf.json`` perf trajectory.
+
+Usage (from the repo root)::
+
+    python benchmarks/run_perf.py
+
+Runs the spatial-subsystem benchmarks (neighbor-table build, one full
+CPVF period, coverage re-measurement) at n in {100, 500, 1000}, asserting
+fast-path/seed parity while timing, and writes the results next to this
+repository's README so future PRs can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.perfbench import run_perf_suite  # noqa: E402
+
+
+def main() -> None:
+    results = run_perf_suite()
+    results["python"] = platform.python_version()
+    results["machine"] = platform.machine()
+    out = REPO_ROOT / "BENCH_perf.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    for section in ("neighbor_table", "cpvf_period", "coverage"):
+        for row in results[section]:
+            layout = f" {row['layout']}" if "layout" in row else ""
+            print(
+                f"{section}{layout} n={row['n']}: "
+                f"seed={row['seed_ms']:.2f} ms fast={row['fast_ms']:.2f} ms "
+                f"({row['speedup']:.1f}x)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,8 +12,6 @@ from repro.core import FloorScheme
 from repro.experiments.common import make_config, make_world
 from repro.sim import SimulationEngine
 
-from .conftest import run_once
-
 
 class _NoPriorityFloor(FloorScheme):
     """FLOOR variant that does not rank expansion kinds against each other."""
@@ -65,7 +63,7 @@ def _coverage(scheme_cls, scale, seed):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_expansion_priority_helps_coverage(benchmark, sweep_scale):
+def test_expansion_priority_helps_coverage(benchmark, sweep_scale, run_once):
     def run_pair():
         prioritised = _coverage(FloorScheme, sweep_scale, seed=6)
         unprioritised = _coverage(_NoPriorityFloor, sweep_scale, seed=6)

@@ -10,11 +10,9 @@ import pytest
 
 from repro.experiments.fig10 import format_fig10, run_fig10
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig10")
-def test_fig10_vd_schemes(benchmark, sweep_scale):
+def test_fig10_vd_schemes(benchmark, sweep_scale, run_once):
     rows = run_once(
         benchmark,
         run_fig10,

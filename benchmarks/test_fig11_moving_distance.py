@@ -9,11 +9,9 @@ import pytest
 
 from repro.experiments.fig11 import format_fig11, run_fig11
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig11")
-def test_fig11_moving_distance(benchmark, sweep_scale):
+def test_fig11_moving_distance(benchmark, sweep_scale, run_once):
     rows = run_once(benchmark, run_fig11, sweep_scale, vd_rounds=5, seed=1)
     print()
     print(format_fig11(rows))

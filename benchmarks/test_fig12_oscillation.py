@@ -8,11 +8,9 @@ import pytest
 
 from repro.experiments.fig12 import format_fig12, run_fig12
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig12")
-def test_fig12_oscillation_avoidance(benchmark, sweep_scale):
+def test_fig12_oscillation_avoidance(benchmark, sweep_scale, run_once):
     rows = run_once(
         benchmark,
         run_fig12,

@@ -10,11 +10,9 @@ import pytest
 
 from repro.experiments.fig13 import format_fig13, run_fig13
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig13")
-def test_fig13_random_obstacles(benchmark, sweep_scale):
+def test_fig13_random_obstacles(benchmark, sweep_scale, run_once):
     repetitions = 2 if sweep_scale.repetitions <= 10 else sweep_scale.repetitions
     summary = run_once(benchmark, run_fig13, sweep_scale, repetitions=repetitions, seed=1)
     print()

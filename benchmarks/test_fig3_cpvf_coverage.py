@@ -9,11 +9,9 @@ import pytest
 
 from repro.experiments.fig3 import format_fig3, run_fig3
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig3")
-def test_fig3_cpvf_scenarios(benchmark, bench_scale):
+def test_fig3_cpvf_scenarios(benchmark, bench_scale, run_once):
     rows = run_once(benchmark, run_fig3, bench_scale, seed=1)
     print()
     print(format_fig3(rows))

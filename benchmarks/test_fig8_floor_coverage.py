@@ -10,11 +10,9 @@ import pytest
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig8 import format_fig8, run_fig8
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig8")
-def test_fig8_floor_scenarios(benchmark, bench_scale):
+def test_fig8_floor_scenarios(benchmark, bench_scale, run_once):
     rows = run_once(benchmark, run_fig8, bench_scale, seed=1)
     print()
     print(format_fig8(rows))
@@ -26,7 +24,7 @@ def test_fig8_floor_scenarios(benchmark, bench_scale):
 
 
 @pytest.mark.benchmark(group="fig8")
-def test_fig8_floor_beats_cpvf_at_small_rc(benchmark, bench_scale):
+def test_fig8_floor_beats_cpvf_at_small_rc(benchmark, bench_scale, run_once):
     """The headline Fig 3(b) vs Fig 8(b) comparison."""
 
     def run_pair():

@@ -9,11 +9,9 @@ import pytest
 
 from repro.experiments.fig9 import format_fig9, run_fig9
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="fig9")
-def test_fig9_coverage_sweep(benchmark, sweep_scale):
+def test_fig9_coverage_sweep(benchmark, sweep_scale, run_once):
     rows = run_once(
         benchmark,
         run_fig9,

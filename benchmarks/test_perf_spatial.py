@@ -1,0 +1,61 @@
+"""Spatial-subsystem perf benchmarks: seed vs fast paths at n in {100, 500, 1000}.
+
+Each test measures a hot query against a faithful seed re-implementation
+(see :mod:`repro.experiments.perfbench`), which asserts fast-path/seed
+parity before timing.  In the default suite the speed assertions are a
+loose sanity floor (the fast path must not lose to the seed) so a loaded
+machine cannot flake the tier-1 run; set ``REPRO_PERF_STRICT=1`` to
+enforce the real targets locally.  The committed perf trajectory lives
+in ``BENCH_perf.json`` (regenerate with ``python benchmarks/run_perf.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.perfbench import (
+    measure_coverage,
+    measure_cpvf_period,
+    measure_neighbor_table,
+)
+
+SIZES = (100, 500, 1000)
+
+#: Loose default floor vs strict local target for n >= 500.
+_MIN_SPEEDUP = 2.5 if os.environ.get("REPRO_PERF_STRICT") == "1" else 1.2
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("n", SIZES)
+def test_perf_neighbor_table(n):
+    result = measure_neighbor_table(n, repeats=5)
+    print(
+        f"\nneighbor_table n={n}: seed={result['seed_ms']:.2f} ms "
+        f"fast={result['fast_ms']:.2f} ms ({result['speedup']:.1f}x)"
+    )
+    if n >= 500:
+        assert result["speedup"] >= _MIN_SPEEDUP
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("n", SIZES)
+def test_perf_cpvf_period(n):
+    result = measure_cpvf_period(n, periods=4)
+    print(
+        f"\ncpvf_period n={n}: seed={result['seed_ms']:.2f} ms "
+        f"fast={result['fast_ms']:.2f} ms ({result['speedup']:.1f}x)"
+    )
+    if n >= 500:
+        assert result["speedup"] >= _MIN_SPEEDUP
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("n", SIZES)
+def test_perf_coverage(n):
+    result = measure_coverage(n, rounds=3)
+    print(
+        f"\ncoverage n={n}: seed={result['seed_ms']:.2f} ms "
+        f"fast={result['fast_ms']:.2f} ms ({result['speedup']:.1f}x)"
+    )
+    if n >= 500:
+        assert result["speedup"] >= _MIN_SPEEDUP

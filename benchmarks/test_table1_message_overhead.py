@@ -9,11 +9,9 @@ import pytest
 
 from repro.experiments.table1 import format_table1, run_table1
 
-from .conftest import run_once
-
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_message_overhead(benchmark, sweep_scale):
+def test_table1_message_overhead(benchmark, sweep_scale, run_once):
     rows = run_once(
         benchmark,
         run_table1,

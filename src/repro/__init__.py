@@ -10,6 +10,9 @@ The package is organised bottom-up:
   tree, period-synchronous simulation engine);
 * :mod:`repro.core` — the paper's contribution: the CPVF and FLOOR
   deployment schemes and their building blocks;
+* :mod:`repro.spatial` — the shared fast paths (cell-hash spatial index,
+  epoch-based neighbor cache, incremental coverage tracking) the hot
+  queries above are built on;
 * :mod:`repro.baselines`, :mod:`repro.assignment` — the evaluation
   baselines (OPT strip pattern, VOR, Minimax, Hungarian bounds);
 * :mod:`repro.metrics`, :mod:`repro.experiments`, :mod:`repro.viz` — the
@@ -61,6 +64,7 @@ from .metrics import (
     positions_are_connected,
     summarize_sensor_distances,
 )
+from .spatial import IncrementalCoverage, NeighborCache, SpatialIndex
 from .voronoi import VoronoiDiagram, diagram_is_correct
 
 __version__ = "1.0.0"
@@ -107,6 +111,9 @@ __all__ = [
     "coverage_report",
     "positions_are_connected",
     "summarize_sensor_distances",
+    "IncrementalCoverage",
+    "NeighborCache",
+    "SpatialIndex",
     "VoronoiDiagram",
     "diagram_is_correct",
     "__version__",

@@ -20,12 +20,20 @@ so the conditions reduce to endpoint distance checks, which is exactly what
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..geometry import Vec2
+from ..geometry import EPS, Vec2
 
-__all__ = ["NeighborMotion", "step_is_valid", "max_valid_step", "STEP_FRACTIONS"]
+__all__ = [
+    "NeighborMotion",
+    "step_is_valid",
+    "max_valid_step",
+    "max_valid_step_points",
+    "max_valid_step_reference",
+    "STEP_FRACTIONS",
+]
 
 #: Candidate step-size fractions examined by a sensor, mirroring the paper's
 #: example ladder ``V*T, 0.9*V*T, ..., 0.1*V*T, 0``.
@@ -93,6 +101,116 @@ def max_valid_step(
     and returns the first one that satisfies the connectivity-preserving
     conditions for every required neighbour; returns ``0`` if even the
     smallest non-zero candidate is invalid.
+
+    This is the CPVF hot path, so it works in plain floats: condition 1
+    only depends on the start position and is checked once per neighbour
+    (if it fails for any link no candidate can be valid), and for a
+    stationary neighbour conditions 2 and 3 coincide and are evaluated
+    once.  Results are bit-identical to :func:`max_valid_step_reference`,
+    which keeps the paper's ladder verbatim.
+    """
+    dir_x, dir_y = direction.x, direction.y
+    norm = math.hypot(dir_x, dir_y)
+    if norm <= EPS or max_step <= 0.0:
+        return 0.0
+    unit_x, unit_y = dir_x / norm, dir_y / norm
+    px, py = position.x, position.y
+    limit = communication_range + 1e-9
+    checks = []
+    for nb in neighbors:
+        end = nb.planned_end
+        ex, ey = end.x, end.y
+        # Condition 1: already out of range of a required link -> no
+        # candidate step (including zero) can restore it.
+        if math.hypot(px - ex, py - ey) > limit:
+            return 0.0
+        cur = nb.current
+        cx, cy = cur.x, cur.y
+        checks.append((ex, ey, cx == ex and cy == ey, cx, cy))
+    return _ladder_scan(px, py, unit_x, unit_y, max_step, checks, limit, fractions)
+
+
+def _ladder_scan(
+    px: float,
+    py: float,
+    unit_x: float,
+    unit_y: float,
+    max_step: float,
+    checks: Sequence[tuple],
+    limit: float,
+    fractions: Sequence[float],
+) -> float:
+    """Shared fraction ladder over precomputed link checks.
+
+    ``checks`` entries are ``(end_x, end_y, stationary, cur_x, cur_y)``;
+    condition 1 is the caller's responsibility.  The single loop both
+    float ladders (:func:`max_valid_step`, :func:`max_valid_step_points`)
+    delegate to, so the connectivity-preserving conditions live in one
+    place.
+    """
+    for fraction in fractions:
+        step = fraction * max_step
+        if step <= 0.0:
+            return 0.0
+        qx, qy = px + unit_x * step, py + unit_y * step
+        valid = True
+        for ex, ey, stationary, cx, cy in checks:
+            # Condition 2 against the neighbour's end-of-period position.
+            if math.hypot(qx - ex, qy - ey) > limit:
+                valid = False
+                break
+            # Condition 3 against its current position (skipped when the
+            # neighbour is stationary: same endpoints, same check).
+            if not stationary and math.hypot(qx - cx, qy - cy) > limit:
+                valid = False
+                break
+        if valid:
+            return step
+    return 0.0
+
+
+def max_valid_step_points(
+    px: float,
+    py: float,
+    dir_x: float,
+    dir_y: float,
+    max_step: float,
+    links: Sequence[tuple],
+    communication_range: float,
+    fractions: Sequence[float] = STEP_FRACTIONS,
+) -> float:
+    """:func:`max_valid_step` for stationary links given as ``(x, y)`` pairs.
+
+    The CPVF main loop preserves links to its (stationary within the
+    decision) tree parent and children; passing their coordinates as plain
+    floats avoids building ``NeighborMotion``/``Vec2`` objects per sensor
+    per period.  Returns the same ladder decision as
+    :func:`max_valid_step` over ``NeighborMotion.stationary`` entries.
+    """
+    norm = math.hypot(dir_x, dir_y)
+    if norm <= EPS or max_step <= 0.0:
+        return 0.0
+    unit_x, unit_y = dir_x / norm, dir_y / norm
+    limit = communication_range + 1e-9
+    for lx, ly in links:
+        if math.hypot(px - lx, py - ly) > limit:
+            return 0.0
+    checks = [(lx, ly, True, lx, ly) for lx, ly in links]
+    return _ladder_scan(px, py, unit_x, unit_y, max_step, checks, limit, fractions)
+
+
+def max_valid_step_reference(
+    position: Vec2,
+    direction: Vec2,
+    max_step: float,
+    neighbors: Sequence[NeighborMotion],
+    communication_range: float,
+    fractions: Sequence[float] = STEP_FRACTIONS,
+) -> float:
+    """The paper's candidate ladder, evaluated literally.
+
+    Kept as the parity reference for :func:`max_valid_step` (the two must
+    agree exactly) and as the seed baseline for the perf benchmarks.
     """
     unit = direction.normalized()
     if unit.norm() == 0.0 or max_step <= 0.0:

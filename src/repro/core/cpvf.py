@@ -20,21 +20,34 @@ Section 6.3 suppresses unproductive movement.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..field import Field
+from ..geometry import EPS
 from ..geometry import Segment, Vec2
 from ..mobility import Bug2Planner, Handedness
 from ..network import BASE_STATION_ID, MessageType
 from ..sensors import Sensor, SensorState
 from ..sim import DeploymentScheme, World
-from .connectivity import NeighborMotion, max_valid_step
+from .connectivity import (
+    STEP_FRACTIONS,
+    NeighborMotion,
+    max_valid_step,
+    max_valid_step_points,
+)
 from .lazy import LazyMovementController
 from .oscillation import OscillationAvoidance, OscillationMode
 from .virtual_force import VirtualForceModel
 
 __all__ = ["CPVFScheme"]
+
+#: Shared zero direction (Vec2 is immutable, so one instance is safe).
+_ZERO_VEC = Vec2(0.0, 0.0)
 
 
 class CPVFScheme(DeploymentScheme):
@@ -48,6 +61,7 @@ class CPVFScheme(DeploymentScheme):
         oscillation_delta: Optional[float] = None,
         oscillation_mode: str = "one-step",
         repulsion_distance: Optional[float] = None,
+        vectorized: bool = True,
     ):
         """Create the scheme.
 
@@ -62,11 +76,22 @@ class CPVFScheme(DeploymentScheme):
         repulsion_distance:
             Pairwise repulsion threshold for the virtual forces; defaults to
             ``2 * rs`` of the simulated sensors.
+        vectorized:
+            Evaluate the pairwise virtual forces for all sensors in one
+            numpy batch instead of per-sensor ``Vec2`` loops.  The batch
+            uses every sensor's start-of-period position, matching the
+            paper's simultaneous-decision semantics (the scalar loop lets
+            earlier movers' new positions leak into later sensors' forces
+            within the same period); it can also differ by one ulp in the
+            force vector because ``np.hypot`` and ``math.hypot`` round
+            independently.  The scalar path is kept as the seed baseline
+            for the perf benchmarks.
         """
         self._allow_parent_change = allow_parent_change
         self._oscillation_delta = oscillation_delta
         self._oscillation_mode = OscillationMode.from_string(oscillation_mode)
         self._repulsion_distance = repulsion_distance
+        self._vectorized = vectorized
         self._planner: Optional[Bug2Planner] = None
         self._forces: Optional[VirtualForceModel] = None
         self._lazy: Optional[LazyMovementController] = None
@@ -103,9 +128,9 @@ class CPVFScheme(DeploymentScheme):
     def _bootstrap_connectivity(self, world: World) -> None:
         """Initial flood: the connected component of the base station joins
         the tree; everyone else learns it is disconnected."""
-        component = world.radio.connected_component_of(
-            world.sensors, world.base_station, world.config.communication_range
-        )
+        # The component, table and base adjacency all come from the world's
+        # neighbor cache, so the three queries share one spatial-index build.
+        component = world.connected_component_of()
         # Build the tree breadth-first from the base station so that parents
         # are always closer (in hops) to the root.
         table = world.neighbor_table()
@@ -197,37 +222,117 @@ class CPVFScheme(DeploymentScheme):
             )
 
     # -- Stage 2: virtual-force coverage maximisation -------------------
+    def _force_directions(
+        self, world: World, connected: List[Sensor], table: Dict[int, List[int]]
+    ) -> Dict[int, Vec2]:
+        """Resultant force directions for all connected sensors at once.
+
+        Pairwise sensor repulsion is evaluated in one numpy batch over the
+        packed neighbour lists; the (cheap, per-sensor) obstacle and
+        boundary terms are added scalar-wise, preserving the summation
+        order of :meth:`VirtualForceModel.resultant`.
+        """
+        assert self._forces is not None
+        sensors = world.sensors
+        xs = np.fromiter((s.position.x for s in sensors), float, len(sensors))
+        ys = np.fromiter((s.position.y for s in sensors), float, len(sensors))
+        neighbor_lists = [table.get(s.sensor_id, []) for s in connected]
+        lengths = np.fromiter(
+            (len(lst) for lst in neighbor_lists), np.intp, len(connected)
+        )
+        rows = np.repeat(
+            np.fromiter((s.sensor_id for s in connected), np.intp, len(connected)),
+            lengths,
+        )
+        cols = np.fromiter(
+            chain.from_iterable(neighbor_lists), np.intp, int(lengths.sum())
+        )
+        sum_x, sum_y = self._forces.sensor_force_sums(xs, ys, rows, cols)
+        sum_x = sum_x.tolist()
+        sum_y = sum_y.tolist()
+        directions: Dict[int, Vec2] = {}
+        field = world.field
+        has_obstacles = bool(field.obstacles)
+        width, height = field.width, field.height
+        boundary_force_xy = self._forces.boundary_force_xy
+        for sensor in connected:
+            sid = sensor.sensor_id
+            total_x, total_y = sum_x[sid], sum_y[sid]
+            if has_obstacles:
+                obstacle = self._forces.force_from_obstacles(sensor.position, field)
+                total_x += obstacle.x
+                total_y += obstacle.y
+            else:
+                # force_from_obstacles with no obstacles reduces to the
+                # four wall terms.
+                wall_x, wall_y = boundary_force_xy(
+                    sensor.position.x, sensor.position.y, width, height
+                )
+                total_x += wall_x
+                total_y += wall_y
+            norm = math.hypot(total_x, total_y)
+            if norm <= EPS:
+                directions[sid] = _ZERO_VEC
+            else:
+                directions[sid] = Vec2(total_x / norm, total_y / norm)
+        return directions
+
     def _apply_virtual_forces(
         self, world: World, table: Dict[int, List[int]]
     ) -> None:
         assert self._forces is not None and self._avoidance is not None
         config = world.config
-        for sensor in world.sensors:
-            if not sensor.is_connected():
-                continue
-            neighbor_ids = table.get(sensor.sensor_id, [])
-            neighbor_positions = [world.sensor(n).position for n in neighbor_ids]
-            direction = self._forces.direction(
-                sensor.position, neighbor_positions, world.field
-            )
-            if direction.norm() == 0.0:
+        connected = [s for s in world.sensors if s.is_connected()]
+        directions: Optional[Dict[int, Vec2]] = None
+        if self._vectorized and connected:
+            directions = self._force_directions(world, connected, table)
+        for sensor in connected:
+            if directions is not None:
+                direction = directions[sensor.sensor_id]
+            else:
+                neighbor_ids = table.get(sensor.sensor_id, [])
+                neighbor_positions = [
+                    world.sensor(n).position for n in neighbor_ids
+                ]
+                direction = self._forces.direction(
+                    sensor.position, neighbor_positions, world.field
+                )
+            if direction.x == 0.0 and direction.y == 0.0:
                 sensor.previous_position = sensor.position
                 continue
 
-            required = self._required_neighbors(world, sensor)
-            # Each required link costs one state-exchange message before the
-            # step-size decision (Section 4.2).
-            if required:
-                world.routing.record_one_hop(
-                    MessageType.NEIGHBOR_STATE, len(required)
+            if directions is not None:
+                # Fused fast path: read the live parent/child positions as
+                # plain floats and run the candidate ladder on them.
+                links = self._tree_link_positions(world, sensor)
+                # Each required link costs one state-exchange message
+                # before the step-size decision (Section 4.2).
+                if links:
+                    world.routing.record_one_hop(
+                        MessageType.NEIGHBOR_STATE, len(links)
+                    )
+                step = max_valid_step_points(
+                    sensor.position.x,
+                    sensor.position.y,
+                    direction.x,
+                    direction.y,
+                    config.max_step,
+                    links,
+                    config.communication_range,
                 )
-            step = max_valid_step(
-                sensor.position,
-                direction,
-                config.max_step,
-                required,
-                config.communication_range,
-            )
+            else:
+                required = self._required_neighbors(world, sensor)
+                if required:
+                    world.routing.record_one_hop(
+                        MessageType.NEIGHBOR_STATE, len(required)
+                    )
+                step = max_valid_step(
+                    sensor.position,
+                    direction,
+                    config.max_step,
+                    required,
+                    config.communication_range,
+                )
 
             if step <= 0.0 and self._allow_parent_change:
                 step = self._try_parent_change(world, sensor, direction, table)
@@ -238,7 +343,16 @@ class CPVFScheme(DeploymentScheme):
 
             # Respect obstacles and the field boundary.
             step = world.field.max_free_travel(sensor.position, direction, step)
-            planned_end = sensor.position + direction.normalized() * step
+            # Inlined `position + direction.normalized() * step`.
+            dir_norm = math.hypot(direction.x, direction.y)
+            position = sensor.position
+            if dir_norm <= EPS:
+                planned_end = position
+            else:
+                planned_end = Vec2(
+                    position.x + (direction.x / dir_norm) * step,
+                    position.y + (direction.y / dir_norm) * step,
+                )
             previous = sensor.previous_position
             if self._avoidance.should_cancel(
                 step, sensor.position, planned_end, previous
@@ -247,6 +361,24 @@ class CPVFScheme(DeploymentScheme):
                 continue
             sensor.previous_position = sensor.position
             sensor.motion.move_to(planned_end)
+
+    def _tree_link_positions(
+        self, world: World, sensor: Sensor
+    ) -> List[tuple]:
+        """Live ``(x, y)`` positions of the links the sensor must preserve."""
+        links: List[tuple] = []
+        parent = world.tree.parent_of(sensor.sensor_id)
+        if parent is not None:
+            pos = (
+                world.base_station
+                if parent == BASE_STATION_ID
+                else world.sensor(parent).position
+            )
+            links.append((pos.x, pos.y))
+        for child in world.tree.children_of(sensor.sensor_id):
+            pos = world.sensor(child).position
+            links.append((pos.x, pos.y))
+        return links
 
     def _required_neighbors(
         self, world: World, sensor: Sensor
@@ -291,6 +423,69 @@ class CPVFScheme(DeploymentScheme):
 
         world.routing.record_subtree_lock(world.tree, sensor.sensor_id)
 
+        if not self._vectorized:
+            return self._best_parent_ladder(world, sensor, direction, candidates)
+
+        # Equivalent to taking max_valid_step() per candidate and keeping
+        # the first candidate attaining the best step, but scanned fraction-
+        # outer so the shared child constraints are checked once per
+        # candidate step size and the scan stops at the first (largest)
+        # step some candidate admits.
+        position = sensor.position
+        norm = math.hypot(direction.x, direction.y)
+        if norm <= EPS or config.max_step <= 0.0:
+            return 0.0
+        unit_x, unit_y = direction.x / norm, direction.y / norm
+        px, py = position.x, position.y
+        limit = config.communication_range + 1e-9
+        children_xy = [
+            (world.sensor(c).position.x, world.sensor(c).position.y)
+            for c in world.tree.children_of(sensor.sensor_id)
+        ]
+        # A required link that is already out of range invalidates every
+        # candidate step, whatever the new parent.
+        for cx, cy in children_xy:
+            if math.hypot(px - cx, py - cy) > limit:
+                return 0.0
+        candidate_xy = []
+        for candidate in candidates:
+            parent_pos = (
+                world.base_station
+                if candidate == BASE_STATION_ID
+                else world.sensor(candidate).position
+            )
+            if math.hypot(px - parent_pos.x, py - parent_pos.y) <= limit:
+                candidate_xy.append((candidate, parent_pos.x, parent_pos.y))
+        if not candidate_xy:
+            return 0.0
+        for fraction in STEP_FRACTIONS:
+            step = fraction * config.max_step
+            if step <= 0.0:
+                return 0.0
+            qx, qy = px + unit_x * step, py + unit_y * step
+            if any(
+                math.hypot(qx - cx, qy - cy) > limit for cx, cy in children_xy
+            ):
+                continue
+            for candidate, cx, cy in candidate_xy:
+                if math.hypot(qx - cx, qy - cy) <= limit:
+                    world.reparent_in_tree(sensor.sensor_id, candidate)
+                    return step
+        return 0.0
+
+    def _best_parent_ladder(
+        self,
+        world: World,
+        sensor: Sensor,
+        direction: Vec2,
+        candidates: List[int],
+    ) -> float:
+        """Seed-faithful candidate scan: one full step ladder per candidate.
+
+        Kept as the reference/baseline path (``vectorized=False``); the
+        fraction-outer scan above returns the same (step, parent) choice.
+        """
+        config = world.config
         children_motions = [
             NeighborMotion.stationary(world.sensor(c).position)
             for c in world.tree.children_of(sensor.sensor_id)

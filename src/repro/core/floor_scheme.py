@@ -150,9 +150,9 @@ class FloorScheme(DeploymentScheme):
 
     def _bootstrap_connectivity(self, world: World) -> None:
         """Initial flood: the base station's connected component joins the tree."""
-        component = world.radio.connected_component_of(
-            world.sensors, world.base_station, world.config.communication_range
-        )
+        # Served from the world's neighbor cache: the component, the table
+        # and the base adjacency below share one spatial-index build.
+        component = world.connected_component_of()
         table = world.neighbor_table()
         near_base = set(world.sensors_near_base_station())
         frontier: List[int] = []

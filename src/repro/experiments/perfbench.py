@@ -1,0 +1,267 @@
+"""Spatial-subsystem performance benchmarks (seed vs fast paths).
+
+Measures the three hot queries the spatial subsystem accelerates —
+neighbor-table construction, one full CPVF period, and coverage
+re-measurement after movement — against faithful re-implementations of
+the seed algorithms (dense ``sqrt`` distance matrix, scalar ``Vec2``
+force loops, full-grid coverage scan).  Every measurement also checks
+that the fast path produces results identical to the brute-force path,
+so the numbers can never drift away from correctness.
+
+``benchmarks/test_perf_spatial.py`` runs these under pytest;
+``benchmarks/run_perf.py`` writes the repo-root ``BENCH_perf.json`` that
+tracks the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core import CPVFScheme
+from ..core import connectivity as _connectivity
+from ..core import cpvf as _cpvf_module
+from ..sim import World
+from ..spatial import IncrementalCoverage
+from .common import ExperimentScale, make_config, make_world
+
+__all__ = [
+    "seed_neighbor_table",
+    "seed_coverage_fraction",
+    "measure_neighbor_table",
+    "measure_cpvf_period",
+    "measure_coverage",
+    "run_perf_suite",
+]
+
+
+def _best_of(func: Callable[[], object], repeats: int, rounds: int = 3) -> float:
+    """Best mean seconds per call over ``rounds`` timing rounds."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            func()
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def _make_perf_world(
+    n: int, seed: int, clustered: bool, fast: bool
+) -> World:
+    scale = ExperimentScale(field_size=1000.0, sensor_count=n)
+    config = make_config(
+        scale, sensor_count=n, seed=seed, clustered_start=clustered
+    )
+    world = make_world(config, scale)
+    world.use_neighbor_cache = fast
+    world.use_incremental_coverage = fast
+    world.radio.use_spatial_index = fast
+    return world
+
+
+# ----------------------------------------------------------------------
+# Neighbor tables
+# ----------------------------------------------------------------------
+def seed_neighbor_table(radio, sensors) -> Dict[int, List[int]]:
+    """Faithful copy of the seed ``Radio.neighbor_table`` implementation.
+
+    Dense ``n x n`` matrix with ``np.sqrt`` and per-row Python loops —
+    kept verbatim here (rather than in :class:`Radio`) so the benchmark
+    baseline stays the seed algorithm even as the library improves.
+    """
+    ids = [s.sensor_id for s in sensors]
+    if not ids:
+        return {}
+    xs = np.array([s.position.x for s in sensors])
+    ys = np.array([s.position.y for s in sensors])
+    rcs = np.array([s.communication_range for s in sensors])
+    dx = xs[:, None] - xs[None, :]
+    dy = ys[:, None] - ys[None, :]
+    dist = np.sqrt(dx * dx + dy * dy)
+    table: Dict[int, List[int]] = {i: [] for i in ids}
+    for i in range(len(sensors)):
+        within = np.flatnonzero(dist[i] <= rcs[i] + 1e-9)
+        for j in within:
+            if j == i:
+                continue
+            if radio.line_of_sight:  # pragma: no cover - seed parity only
+                from ..geometry import Segment
+
+                if radio.field.segment_blocked(
+                    Segment(sensors[i].position, sensors[j].position)
+                ):
+                    continue
+            table[ids[i]].append(ids[int(j)])
+    return table
+
+
+def measure_neighbor_table(
+    n: int, seed: int = 3, clustered: bool = False, repeats: int = 10
+) -> Dict[str, float]:
+    """Seed vs indexed neighbor-table build time on one layout."""
+    world = _make_perf_world(n, seed, clustered, fast=True)
+    sensors = world.sensors
+    radio = world.radio
+    reference = seed_neighbor_table(radio, sensors)
+    if reference != radio.neighbor_table_indexed(sensors):
+        raise AssertionError("indexed neighbor table diverged from seed table")
+    if reference != radio.neighbor_table_bruteforce(sensors):
+        raise AssertionError("brute neighbor table diverged from seed table")
+    # Several short best-of rounds: both paths are sub-10ms, so a single
+    # noisy round on a loaded machine would dominate the ratio otherwise.
+    seed_s = _best_of(lambda: seed_neighbor_table(radio, sensors), repeats, rounds=5)
+    fast_s = _best_of(
+        lambda: radio.neighbor_table_indexed(sensors), repeats, rounds=5
+    )
+    return {
+        "n": n,
+        "layout": "clustered" if clustered else "uniform",
+        "seed_ms": seed_s * 1000.0,
+        "fast_ms": fast_s * 1000.0,
+        "speedup": seed_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# CPVF periods
+# ----------------------------------------------------------------------
+def _timed_periods(n: int, seed: int, fast: bool, periods: int) -> float:
+    world = _make_perf_world(n, seed, clustered=True, fast=fast)
+    scheme = CPVFScheme(vectorized=fast)
+    original_ladder = _cpvf_module.max_valid_step
+    if not fast:
+        # The seed ladder evaluated every fraction through Vec2 helpers.
+        _cpvf_module.max_valid_step = _connectivity.max_valid_step_reference
+    try:
+        scheme.initialize(world)
+        scheme.step(world)  # warm-up period
+        start = time.perf_counter()
+        for _ in range(periods):
+            scheme.step(world)
+        return (time.perf_counter() - start) / periods
+    finally:
+        _cpvf_module.max_valid_step = original_ladder
+
+
+def measure_cpvf_period(
+    n: int, seed: int = 3, periods: int = 6
+) -> Dict[str, float]:
+    """Seed vs fast cost of one full CPVF decision period."""
+    seed_s = _timed_periods(n, seed, fast=False, periods=periods)
+    fast_s = _timed_periods(n, seed, fast=True, periods=periods)
+    return {
+        "n": n,
+        "seed_ms": seed_s * 1000.0,
+        "fast_ms": fast_s * 1000.0,
+        "speedup": seed_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Coverage
+# ----------------------------------------------------------------------
+def seed_coverage_fraction(field, positions, sensing_range, resolution) -> float:
+    """Faithful copy of the seed coverage scan.
+
+    The seed ``CoverageGrid.coverage_mask`` tested every disk against the
+    whole (still-uncovered) flattened grid; kept verbatim here so the
+    benchmark baseline stays the seed algorithm even though the library's
+    brute path now rasterises per-disk bounding boxes.
+    """
+    grid, obstacle_mask = field.grid_and_obstacle_mask(resolution)
+    px, py = grid.point_arrays()
+    covered = np.zeros(grid.num_points, dtype=bool)
+    if positions and sensing_range > 0:
+        r_sq = sensing_range * sensing_range
+        for p in positions:
+            remaining = ~covered
+            if not remaining.any():
+                break
+            dx = px[remaining] - p.x
+            dy = py[remaining] - p.y
+            hit = dx * dx + dy * dy <= r_sq
+            idx = np.flatnonzero(remaining)
+            covered[idx[hit]] = True
+    free = ~obstacle_mask
+    return grid.fraction(covered & free, domain=free)
+
+
+def measure_coverage(
+    n: int,
+    seed: int = 3,
+    moved_fraction: float = 0.02,
+    rounds: int = 5,
+) -> Dict[str, float]:
+    """Seed vs incremental coverage after small position changes.
+
+    Simulates the engine's trace pattern: measure, move a few sensors,
+    measure again.  The seed path rescans the grid for every sensing disk
+    each time; the incremental tracker only re-rasterises the moved
+    disks.  Both answers are checked for exact equality every round.
+    """
+    world = _make_perf_world(n, seed, clustered=False, fast=True)
+    rs = world.config.sensing_range
+    res = world.config.coverage_resolution
+    rng = np.random.default_rng(seed)
+    positions = np.array([(s.position.x, s.position.y) for s in world.sensors])
+    tracker = IncrementalCoverage(world.field, rs, res)
+    tracker.update(positions)
+
+    from ..geometry import Vec2
+
+    moved = max(1, int(n * moved_fraction))
+    brute_s = 0.0
+    fast_s = 0.0
+    for _ in range(rounds):
+        idx = rng.choice(n, size=moved, replace=False)
+        positions[idx] = rng.uniform(0, world.field.width, size=(moved, 2))
+        vecs = [Vec2(x, y) for x, y in positions]
+
+        start = time.perf_counter()
+        seed_value = seed_coverage_fraction(world.field, vecs, rs, res)
+        brute_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        tracker.update(positions)
+        fast_value = tracker.covered_fraction()
+        fast_s += time.perf_counter() - start
+
+        if seed_value != fast_value:
+            raise AssertionError(
+                f"incremental coverage {fast_value!r} != seed {seed_value!r}"
+            )
+        if world.field.coverage_fraction(vecs, rs, res) != fast_value:
+            raise AssertionError("library brute coverage diverged from seed")
+    return {
+        "n": n,
+        "moved_per_round": moved,
+        "seed_ms": brute_s / rounds * 1000.0,
+        "fast_ms": fast_s / rounds * 1000.0,
+        "speedup": brute_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Full suite
+# ----------------------------------------------------------------------
+def run_perf_suite(
+    ns: Sequence[int] = (100, 500, 1000), seed: int = 3
+) -> Dict[str, object]:
+    """All three benchmarks over the requested population sizes."""
+    return {
+        "description": (
+            "Spatial-index subsystem benchmarks: seed algorithms vs fast "
+            "paths; parity is asserted before/while timing."
+        ),
+        "field": "1000x1000 m, rc=60, rs=40, coverage resolution 10 m",
+        "neighbor_table": [
+            measure_neighbor_table(n, seed=seed, clustered=clustered)
+            for n in ns
+            for clustered in (False, True)
+        ],
+        "cpvf_period": [measure_cpvf_period(n, seed=seed) for n in ns],
+        "coverage": [measure_coverage(n, seed=seed) for n in ns],
+    }

@@ -149,9 +149,30 @@ class Field:
         """
         if distance <= 0:
             return 0.0
-        unit = direction.normalized()
-        if unit.norm() == 0.0:
+        norm = math.hypot(direction.x, direction.y)
+        if norm <= 1e-9:
             return 0.0
+        unit_x, unit_y = direction.x / norm, direction.y / norm
+        if not self.obstacles:
+            # Obstacle-free fast path in plain floats: a straight move is
+            # admissible exactly when its endpoint stays in the rectangle
+            # (the rectangle is convex and the start is checked too).
+            if not self.in_bounds(start):
+                return 0.0
+            sx, sy = start.x, start.y
+            tx, ty = sx + unit_x * distance, sy + unit_y * distance
+            if 0.0 <= tx <= self.width and 0.0 <= ty <= self.height:
+                return distance
+            lo, hi = 0.0, distance
+            for _ in range(24):
+                mid = (lo + hi) / 2.0
+                cx, cy = sx + unit_x * mid, sy + unit_y * mid
+                if 0.0 <= cx <= self.width and 0.0 <= cy <= self.height:
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+        unit = Vec2(unit_x, unit_y)
         lo, hi = 0.0, distance
         target = start + unit * distance
         if self.is_free(target) and not self.segment_blocked(Segment(start, target)):

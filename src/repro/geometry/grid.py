@@ -90,24 +90,50 @@ class CoverageGrid:
             (predicate(p) for p in self.points()), dtype=bool, count=self.num_points
         )
 
+    def disk_block(
+        self, cx: float, cy: float, radius: float
+    ) -> "Tuple[slice, slice, np.ndarray] | None":
+        """The grid sub-block a disk touches, with its in-disk mask.
+
+        Returns ``(i_slice, j_slice, hit)`` where ``hit`` is the boolean
+        mask ``dx*dx + dy*dy <= radius*radius`` over the sub-block of the
+        ``'ij'``-shaped grid inside the disk's bounding box, or ``None``
+        when the disk misses the grid entirely.  This is the single
+        rasterisation predicate every coverage path shares — the
+        incremental tracker's exact-parity contract depends on all
+        consumers using the same float ops.
+        """
+        xs, ys = self._xs, self._ys
+        i0 = int(np.searchsorted(xs, cx - radius, side="left"))
+        i1 = int(np.searchsorted(xs, cx + radius, side="right"))
+        j0 = int(np.searchsorted(ys, cy - radius, side="left"))
+        j1 = int(np.searchsorted(ys, cy + radius, side="right"))
+        if i0 >= i1 or j0 >= j1:
+            return None
+        dx = xs[i0:i1, None] - cx
+        dy = ys[None, j0:j1] - cy
+        hit = dx * dx + dy * dy <= radius * radius
+        return slice(i0, i1), slice(j0, j1), hit
+
     def coverage_mask(
         self, centers: Sequence[Tuple[float, float]], radius: float
     ) -> np.ndarray:
-        """Mask of sample points within ``radius`` of any of ``centers``."""
-        covered = np.zeros(self.num_points, dtype=bool)
+        """Mask of sample points within ``radius`` of any of ``centers``.
+
+        Each disk only touches the sub-block of grid points inside its
+        bounding box, so the cost is proportional to the covered area
+        rather than ``len(centers) * num_points``.
+        """
+        covered = np.zeros(self.shape, dtype=bool)
         if not centers or radius <= 0:
-            return covered
-        r_sq = radius * radius
+            return covered.ravel()
         for cx, cy in centers:
-            remaining = ~covered
-            if not remaining.any():
-                break
-            dx = self._px[remaining] - cx
-            dy = self._py[remaining] - cy
-            hit = dx * dx + dy * dy <= r_sq
-            idx = np.flatnonzero(remaining)
-            covered[idx[hit]] = True
-        return covered
+            block = self.disk_block(cx, cy, radius)
+            if block is None:
+                continue
+            si, sj, hit = block
+            covered[si, sj] |= hit
+        return covered.ravel()
 
     def fraction(self, mask: np.ndarray, domain: np.ndarray | None = None) -> float:
         """Fraction of (domain) points set in ``mask``.

@@ -57,14 +57,17 @@ def coverage_report(
     by examples and ablation benches rather than by the main experiments.
     """
     grid, obstacle_mask = field.grid_and_obstacle_mask(resolution)
-    px, py = grid.point_arrays()
     free = ~obstacle_mask
-    multiplicity = np.zeros(grid.num_points, dtype=np.int32)
-    r_sq = sensing_range * sensing_range
+    # Accumulate the multiplicity disk by disk, touching only the grid
+    # sub-block inside each disk's bounding box.
+    multiplicity2d = np.zeros(grid.shape, dtype=np.int32)
     for p in positions:
-        dx = px - p.x
-        dy = py - p.y
-        multiplicity += (dx * dx + dy * dy <= r_sq).astype(np.int32)
+        disk = grid.disk_block(p.x, p.y, sensing_range)
+        if disk is None:
+            continue
+        si, sj, hit = disk
+        multiplicity2d[si, sj] += hit
+    multiplicity = multiplicity2d.ravel()
 
     free_count = int(free.sum())
     if free_count == 0:

@@ -43,6 +43,21 @@ class MotionModel:
     _path: Optional[Bug2Path] = field(default=None, repr=False)
     _path_progress: float = field(default=0.0, repr=False)
 
+    def __setattr__(self, name: str, value) -> None:
+        # Every position assignment bumps the version counter; the spatial
+        # subsystem's NeighborCache uses the tuple of versions as its epoch,
+        # so caches invalidate exactly when a sensor actually moves.
+        if name == "position":
+            object.__setattr__(
+                self, "_position_version", self.__dict__.get("_position_version", 0) + 1
+            )
+        object.__setattr__(self, name, value)
+
+    @property
+    def position_version(self) -> int:
+        """Monotone counter incremented on every position assignment."""
+        return self.__dict__.get("_position_version", 0)
+
     # ------------------------------------------------------------------
     # Direct moves
     # ------------------------------------------------------------------

@@ -10,15 +10,19 @@ sight blocking for sensitivity studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
 from ..field import Field
 from ..geometry import Segment, Vec2
 from ..sensors import Sensor
+from ..spatial import SpatialIndex, pack_positions
 
 __all__ = ["Radio"]
+
+#: Link tolerance used by every range comparison (matches ``link_exists``).
+_LINK_EPS = 1e-9
 
 
 @dataclass
@@ -33,10 +37,17 @@ class Radio:
         When ``True``, two nodes are neighbours only if the straight segment
         between them does not cross an obstacle.  The paper's experiments use
         the plain unit-disk model (``False``).
+    use_spatial_index:
+        When ``True`` (the default) neighbour tables are computed through a
+        :class:`~repro.spatial.SpatialIndex` instead of a dense ``n x n``
+        distance matrix.  The brute-force path is kept (and used for very
+        small populations) and produces identical tables; parity is
+        enforced by ``tests/spatial``.
     """
 
     field: Field
     line_of_sight: bool = False
+    use_spatial_index: bool = True
 
     # ------------------------------------------------------------------
     # Pairwise link predicate
@@ -55,23 +66,37 @@ class Radio:
     def neighbor_table(self, sensors: Sequence[Sensor]) -> Dict[int, List[int]]:
         """Neighbour lists keyed by sensor id.
 
-        Uses a vectorised distance computation; the per-sensor communication
-        ranges may differ (the paper uses a common ``rc`` but the library
-        does not require it).
+        The per-sensor communication ranges may differ (the paper uses a
+        common ``rc`` but the library does not require it).  Dispatches to
+        the spatial-index fast path unless disabled or the population is
+        too small for it to pay off.
+        """
+        if not self.use_spatial_index or len(sensors) < 8:
+            return self.neighbor_table_bruteforce(sensors)
+        return self.neighbor_table_indexed(sensors)
+
+    def neighbor_table_bruteforce(
+        self, sensors: Sequence[Sensor]
+    ) -> Dict[int, List[int]]:
+        """Dense-matrix neighbour table (parity reference / small-n path).
+
+        Compares *squared* distances — no ``sqrt`` over the full matrix —
+        which keeps the accepted set identical to the indexed path.
         """
         ids = [s.sensor_id for s in sensors]
         if not ids:
             return {}
         xs = np.array([s.position.x for s in sensors])
         ys = np.array([s.position.y for s in sensors])
-        rcs = np.array([s.communication_range for s in sensors])
+        rcs = np.array([s.communication_range for s in sensors]) + _LINK_EPS
         dx = xs[:, None] - xs[None, :]
         dy = ys[:, None] - ys[None, :]
-        dist = np.sqrt(dx * dx + dy * dy)
+        dist_sq = dx * dx + dy * dy
+        rc_sq = rcs * rcs
         table: Dict[int, List[int]] = {i: [] for i in ids}
         n = len(sensors)
         for i in range(n):
-            within = np.flatnonzero(dist[i] <= rcs[i] + 1e-9)
+            within = np.flatnonzero(dist_sq[i] <= rc_sq[i])
             for j in within:
                 if j == i:
                     continue
@@ -80,6 +105,58 @@ class Radio:
                 ):
                     continue
                 table[ids[i]].append(ids[int(j)])
+        return table
+
+    def neighbor_table_indexed(
+        self,
+        sensors: Sequence[Sensor],
+        index: Optional[SpatialIndex] = None,
+    ) -> Dict[int, List[int]]:
+        """Neighbour table computed through a :class:`SpatialIndex`.
+
+        ``index`` may be a prebuilt index over the sensors' current
+        positions (the :class:`~repro.spatial.NeighborCache` shares one per
+        epoch); when omitted a throwaway index is built.
+        """
+        ids = [s.sensor_id for s in sensors]
+        n = len(sensors)
+        if n < 2:
+            return {i: [] for i in ids}
+        rc_list = [s.communication_range for s in sensors]
+        max_range = max(rc_list) + _LINK_EPS
+        if index is None:
+            index = SpatialIndex(max(max_range, _LINK_EPS) * 1.001).build(
+                pack_positions(sensors)
+            )
+        rows, cols, dist_sq = index.neighbor_pairs_directed(max_range)
+        if min(rc_list) != max(rc_list):
+            # Heterogeneous ranges: j is a neighbour of i iff d <= rc_i.
+            rcs = np.fromiter(rc_list, dtype=float, count=n) + _LINK_EPS
+            keep = dist_sq <= rcs[rows] * rcs[rows]
+            rows, cols = rows[keep], cols[keep]
+        if self.line_of_sight:
+            table: Dict[int, List[int]] = {i: [] for i in ids}
+            blocked: Dict[tuple, bool] = {}
+            for i, j in zip(rows.tolist(), cols.tolist()):
+                key = (i, j) if i < j else (j, i)
+                hit = blocked.get(key)
+                if hit is None:
+                    hit = self.field.segment_blocked(
+                        Segment(sensors[i].position, sensors[j].position)
+                    )
+                    blocked[key] = hit
+                if not hit:
+                    table[ids[i]].append(ids[j])
+            return table
+        # rows is sorted, cols ascending within each row: slice the packed
+        # neighbour list per sensor instead of appending pair by pair.
+        flat = np.asarray(ids, dtype=np.intp)[cols].tolist()
+        bounds = np.cumsum(np.bincount(rows, minlength=n)).tolist()
+        table = {}
+        lo = 0
+        for sensor_id, hi in zip(ids, bounds):
+            table[sensor_id] = flat[lo:hi]
+            lo = hi
         return table
 
     def neighbors_of_point(
@@ -107,13 +184,22 @@ class Radio:
         sensors: Sequence[Sensor],
         base_station: Vec2,
         communication_range: float,
+        table: Optional[Dict[int, List[int]]] = None,
+        base_neighbors: Optional[Sequence[int]] = None,
     ) -> Set[int]:
-        """Sensors reachable from the base station via multi-hop links."""
-        table = self.neighbor_table(sensors)
-        by_id = {s.sensor_id: s for s in sensors}
-        frontier = list(
-            self.neighbors_of_point(base_station, sensors, communication_range)
-        )
+        """Sensors reachable from the base station via multi-hop links.
+
+        ``table`` and ``base_neighbors`` let callers (the neighbor cache)
+        reuse structures already computed for the same positions instead of
+        rebuilding the neighbour table a second time.
+        """
+        if table is None:
+            table = self.neighbor_table(sensors)
+        if base_neighbors is None:
+            base_neighbors = self.neighbors_of_point(
+                base_station, sensors, communication_range
+            )
+        frontier = list(base_neighbors)
         reached: Set[int] = set(frontier)
         while frontier:
             current = frontier.pop()

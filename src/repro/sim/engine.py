@@ -125,7 +125,12 @@ class SimulationEngine:
                 if self._stop_on_convergence:
                     break
 
-        final_coverage = world.coverage()
+        # The last trace record (when one was taken this period) already
+        # holds the final coverage; don't measure the same layout twice.
+        if trace and trace[-1].time == world.time:
+            final_coverage = trace[-1].coverage
+        else:
+            final_coverage = world.coverage()
         result = SimulationResult(
             scheme_name=scheme.name,
             final_coverage=final_coverage,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..field import (
     Field,
@@ -27,6 +27,7 @@ from ..network import (
     RoutingCostModel,
 )
 from ..sensors import Sensor, SensorState
+from ..spatial import IncrementalCoverage, NeighborCache
 from .config import SimulationConfig
 
 __all__ = ["World"]
@@ -46,6 +47,16 @@ class World:
     rng: random.Random
     time: float = 0.0
     period_index: int = 0
+    #: Fast-path switches; the brute-force implementations remain available
+    #: (and are compared against the fast paths by the spatial parity tests).
+    use_neighbor_cache: bool = True
+    use_incremental_coverage: bool = True
+    _neighbor_cache: Optional[NeighborCache] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _coverage_trackers: Dict[Tuple[float, float], IncrementalCoverage] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,14 +134,31 @@ class World:
         """Current positions of all sensors, in id order."""
         return [s.position for s in self.sensors]
 
+    def _cache(self) -> NeighborCache:
+        if self._neighbor_cache is None:
+            self._neighbor_cache = NeighborCache(self)
+        return self._neighbor_cache
+
     def neighbor_table(self) -> Dict[int, List[int]]:
         """Current neighbour lists (ids within communication range)."""
+        if self.use_neighbor_cache:
+            return self._cache().neighbor_table()
         return self.radio.neighbor_table(self.sensors)
 
     def sensors_near_base_station(self) -> List[int]:
         """Sensors within one hop of the base station."""
+        if self.use_neighbor_cache:
+            return self._cache().base_station_neighbors()
         return self.radio.neighbors_of_point(
             self.base_station, self.sensors, self.config.communication_range
+        )
+
+    def connected_component_of(self) -> Set[int]:
+        """Ids of sensors reachable from the base station via multi-hop links."""
+        if self.use_neighbor_cache:
+            return self._cache().connected_component()
+        return self.radio.connected_component_of(
+            self.sensors, self.base_station, self.config.communication_range
         )
 
     def connected_sensor_ids(self) -> List[int]:
@@ -141,15 +169,30 @@ class World:
     # Global metrics
     # ------------------------------------------------------------------
     def coverage(self) -> float:
-        """Fraction of non-obstacle field area covered by sensing disks."""
-        return self.field.coverage_fraction(
-            self.positions(),
-            self.config.sensing_range,
-            self.config.coverage_resolution,
-        )
+        """Fraction of non-obstacle field area covered by sensing disks.
+
+        The incremental tracker re-rasterises only the disks of sensors
+        that moved since the previous call; the result is identical to the
+        brute-force ``Field.coverage_fraction`` scan.
+        """
+        if not self.use_incremental_coverage:
+            return self.field.coverage_fraction(
+                self.positions(),
+                self.config.sensing_range,
+                self.config.coverage_resolution,
+            )
+        key = (self.config.sensing_range, self.config.coverage_resolution)
+        tracker = self._coverage_trackers.get(key)
+        if tracker is None:
+            tracker = IncrementalCoverage(self.field, key[0], key[1])
+            self._coverage_trackers[key] = tracker
+        tracker.update([(s.position.x, s.position.y) for s in self.sensors])
+        return tracker.covered_fraction()
 
     def network_is_connected(self) -> bool:
         """Whether every sensor has a multi-hop route to the base station."""
+        if self.use_neighbor_cache:
+            return len(self.connected_component_of()) == len(self.sensors)
         return self.radio.network_is_connected(
             self.sensors, self.base_station, self.config.communication_range
         )

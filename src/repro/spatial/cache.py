@@ -1,0 +1,146 @@
+"""Epoch-based neighbor cache shared by a World's per-period queries.
+
+One simulation period issues the same neighborhood computation several
+times: the scheme asks for the neighbor table, the bootstrap flood asks
+for the base station's component, the engine asks whether the network is
+connected.  The cache builds one :class:`~repro.spatial.SpatialIndex` per
+*epoch* — the tuple of per-sensor ``MotionModel.position_version``
+counters — and derives all three answers from it; the epoch changes
+exactly when some sensor's position is assigned, so an unchanged layout
+never recomputes anything.
+
+Cached structures are handed out as copies: the pre-cache ``World`` API
+returned freshly built dicts/lists/sets that callers were free to mutate,
+and several schemes do mutate neighbor lists in place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from .index import SpatialIndex, pack_positions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..sim.world import World
+
+__all__ = ["NeighborCache"]
+
+#: Base-station candidate queries inflate the radius before the exact
+#: ``link_exists`` re-check so borderline float rounding between the
+#: squared and sqrt formulations can never drop a candidate.
+_QUERY_SLACK = 1e-9
+
+
+class NeighborCache:
+    """Per-world cache of neighbor structures, invalidated by movement."""
+
+    def __init__(self, world: "World"):
+        self._world = world
+        self._epoch: Optional[tuple] = None
+        self._reset()
+
+    def _reset(self) -> None:
+        self._index: Optional[SpatialIndex] = None
+        self._table: Optional[Dict[int, List[int]]] = None
+        self._base_neighbors: Optional[List[int]] = None
+        self._component: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    # Epoch handling
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        world = self._world
+        # Position versions carry the per-period invalidation; the radio
+        # parameters (per-sensor ranges, line-of-sight flag) are included so
+        # a mid-run mutation cannot serve a stale table.
+        epoch = (
+            world.radio.line_of_sight,
+            world.config.communication_range,
+            tuple(
+                (s.motion.position_version, s.communication_range)
+                for s in world.sensors
+            ),
+        )
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._reset()
+
+    def invalidate(self) -> None:
+        """Drop all cached structures (next query recomputes)."""
+        self._epoch = None
+        self._reset()
+
+    # ------------------------------------------------------------------
+    # Shared index
+    # ------------------------------------------------------------------
+    def _spatial_index(self) -> Optional[SpatialIndex]:
+        """The shared index for the current epoch (``None`` when unusable)."""
+        world = self._world
+        if not world.radio.use_spatial_index or len(world.sensors) < 2:
+            return None
+        if self._index is None:
+            max_range = max(s.communication_range for s in world.sensors)
+            max_range = max(max_range, world.config.communication_range, 1e-9)
+            self._index = SpatialIndex(max_range * 1.001).build(
+                pack_positions(world.sensors)
+            )
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Cached queries
+    # ------------------------------------------------------------------
+    def neighbor_table(self) -> Dict[int, List[int]]:
+        """Copy of the cached neighbor table (ids -> ids in range)."""
+        self._validate()
+        table = self._raw_table()
+        return {sid: list(neighbors) for sid, neighbors in table.items()}
+
+    def _raw_table(self) -> Dict[int, List[int]]:
+        if self._table is None:
+            world = self._world
+            index = self._spatial_index()
+            if index is not None:
+                self._table = world.radio.neighbor_table_indexed(
+                    world.sensors, index
+                )
+            else:
+                self._table = world.radio.neighbor_table(world.sensors)
+        return self._table
+
+    def base_station_neighbors(self) -> List[int]:
+        """Copy of the cached one-hop neighborhood of the base station."""
+        self._validate()
+        return list(self._raw_base_neighbors())
+
+    def _raw_base_neighbors(self) -> List[int]:
+        if self._base_neighbors is None:
+            world = self._world
+            base = world.base_station
+            rc = world.config.communication_range
+            index = self._spatial_index()
+            if index is None:
+                self._base_neighbors = world.radio.neighbors_of_point(
+                    base, world.sensors, rc
+                )
+            else:
+                candidates = index.query_radius(base, rc + 2.0 * _QUERY_SLACK)
+                self._base_neighbors = [
+                    world.sensors[i].sensor_id
+                    for i in candidates.tolist()
+                    if world.radio.link_exists(base, world.sensors[i].position, rc)
+                ]
+        return self._base_neighbors
+
+    def connected_component(self) -> Set[int]:
+        """Copy of the cached set of ids reachable from the base station."""
+        self._validate()
+        if self._component is None:
+            world = self._world
+            self._component = world.radio.connected_component_of(
+                world.sensors,
+                world.base_station,
+                world.config.communication_range,
+                table=self._raw_table(),
+                base_neighbors=self._raw_base_neighbors(),
+            )
+        return set(self._component)
