@@ -7,8 +7,10 @@ Usage (from the repo root)::
 
 Runs the spatial-subsystem benchmarks (neighbor-table build, one full
 CPVF period, coverage re-measurement) at n in {100, 500, 1000}, asserting
-fast-path/seed parity while timing, and writes the results next to this
-repository's README so future PRs can track the perf trajectory.
+fast-path/seed parity while timing, plus the sweep-throughput entry
+(serial vs process-sharded ``SweepRunner``, asserting record equality),
+and writes the results next to this repository's README so future PRs can
+track the perf trajectory.
 """
 
 from __future__ import annotations
@@ -39,6 +41,12 @@ def main() -> None:
                 f"seed={row['seed_ms']:.2f} ms fast={row['fast_ms']:.2f} ms "
                 f"({row['speedup']:.1f}x)"
             )
+    for row in results["sweep_throughput"]:
+        print(
+            f"sweep_throughput runs={row['runs']}: "
+            f"serial={row['seed_ms']:.0f} ms jobs={row['jobs']}"
+            f"={row['fast_ms']:.0f} ms ({row['speedup']:.1f}x)"
+        )
 
 
 if __name__ == "__main__":

@@ -66,6 +66,17 @@ from .metrics import (
 )
 from .spatial import IncrementalCoverage, NeighborCache, SpatialIndex
 from .voronoi import VoronoiDiagram, diagram_is_correct
+from .api import (
+    RunRecord,
+    RunSpec,
+    ScenarioSpec,
+    SweepRunner,
+    SweepSpec,
+    execute_run,
+    register_layout,
+    register_placement,
+    register_scheme,
+)
 
 __version__ = "1.0.0"
 
@@ -116,5 +127,14 @@ __all__ = [
     "SpatialIndex",
     "VoronoiDiagram",
     "diagram_is_correct",
+    "ScenarioSpec",
+    "RunSpec",
+    "RunRecord",
+    "SweepSpec",
+    "SweepRunner",
+    "execute_run",
+    "register_scheme",
+    "register_layout",
+    "register_placement",
     "__version__",
 ]

@@ -1,0 +1,329 @@
+"""Scheme adapters: one execution interface over every deployment scheme.
+
+The paper evaluates three very different kinds of scheme:
+
+* the **period-based** CPVF and FLOOR protocols, which run on the
+  period-synchronous :class:`~repro.sim.engine.SimulationEngine`;
+* the **round-based** VD baselines VOR and Minimax, which operate on raw
+  position lists and (from a clustered start) need the explosion dispersal
+  first;
+* the **analytic** OPT strip pattern and the Hungarian moving-distance
+  lower bound, which need no simulation at all.
+
+Historically every experiment special-cased these three shapes.  The
+:class:`SchemeAdapter` interface hides the difference: every adapter turns a
+:class:`~repro.api.specs.RunSpec` into a :class:`~repro.api.specs.RunRecord`,
+and experiments just declare grids of run specs.  Adapters register
+themselves by name (``@register_scheme("CPVF")``), so new schemes plug in
+without touching the experiment layer.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict
+
+from ..assignment import minimum_distance_matching
+from ..baselines import MinimaxScheme, OptStripPattern, VorScheme, explode
+from ..core import CPVFScheme, FloorScheme
+from ..metrics import positions_are_connected
+from ..sim import DeploymentScheme, SimulationEngine
+from ..voronoi import diagram_is_correct
+from .registry import register_scheme, scheme_registry
+from .scenario import thaw_params
+from .specs import RunRecord, RunSpec, TracePoint
+
+__all__ = [
+    "SchemeAdapter",
+    "PeriodSchemeAdapter",
+    "VDSchemeAdapter",
+    "execute_run",
+    "hungarian_bound",
+]
+
+
+def _reject_unknown_params(scheme_name: str, params: Dict) -> None:
+    if params:
+        raise TypeError(
+            f"unknown {scheme_name} scheme parameters: {sorted(params)}"
+        )
+
+
+def hungarian_bound(scenario, targets, field=None):
+    """Hungarian moving-distance lower bound to reach a target layout.
+
+    Matches the scenario's deterministic initial placement to ``targets``
+    at minimum total distance and returns ``(average_distance, coverage)``
+    — the recipe shared by the OPT-Hungarian scheme and the Fig 11
+    FLOOR-Hungarian row.
+    """
+    if field is None:
+        field = scenario.build_field()
+    initial = scenario.initial_positions(field)
+    _, total = minimum_distance_matching(
+        [p.as_tuple() for p in initial], [p.as_tuple() for p in targets]
+    )
+    coverage = field.coverage_fraction(
+        targets, scenario.sensing_range, scenario.coverage_resolution
+    )
+    return total / max(1, scenario.sensor_count), coverage
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Execute one run spec through the registered scheme adapter.
+
+    This is the single entry point the sweep executor (and its worker
+    processes) use; it is a module-level function so it pickles cleanly.
+    """
+    adapter: SchemeAdapter = scheme_registry.get(spec.scheme)
+    return adapter.execute(spec)
+
+
+class SchemeAdapter(abc.ABC):
+    """Executes one :class:`RunSpec`, whatever kind of scheme it names."""
+
+    #: Canonical scheme name reported in records.
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def execute(self, spec: RunSpec) -> RunRecord:
+        """Run the scheme on the spec's scenario and return the record."""
+
+
+# ----------------------------------------------------------------------
+# Period-based schemes (CPVF, FLOOR) on the simulation engine
+# ----------------------------------------------------------------------
+class PeriodSchemeAdapter(SchemeAdapter):
+    """Adapter base for schemes driven by the period-synchronous engine."""
+
+    def build_scheme(self, settings, params: Dict) -> DeploymentScheme:
+        """Instantiate the underlying scheme.
+
+        ``settings`` is any object exposing the scheme-relevant scenario
+        attributes (``oscillation_delta``, ``invitation_ttl``, ...): both
+        :class:`~repro.api.scenario.ScenarioSpec` and
+        :class:`~repro.sim.config.SimulationConfig` qualify.
+        """
+        raise NotImplementedError
+
+    def execute(self, spec: RunSpec) -> RunRecord:
+        scenario = spec.scenario
+        field = scenario.build_field()
+        world = scenario.build_world(field)
+        scheme = self.build_scheme(scenario, thaw_params(spec.scheme_params))
+        engine = SimulationEngine(
+            world,
+            scheme,
+            trace_every=spec.trace_every if spec.trace_every else 50,
+            keep_world=True,
+        )
+        result = engine.run()
+        return RunRecord(
+            spec=spec,
+            scheme=self.name,
+            coverage=result.final_coverage,
+            average_moving_distance=result.average_moving_distance,
+            total_moving_distance=result.total_moving_distance,
+            total_messages=result.total_messages,
+            connected=result.connected,
+            periods_executed=result.periods_executed,
+            converged_at=result.converged_at,
+            extras={"obstacle_count": len(field.obstacles)},
+            trace=(
+                tuple(
+                    TracePoint(
+                        time=t.time,
+                        coverage=t.coverage,
+                        average_moving_distance=t.average_moving_distance,
+                        total_messages=t.total_messages,
+                        connected_sensors=t.connected_sensors,
+                    )
+                    for t in result.trace
+                )
+                if spec.trace_every
+                else ()
+            ),
+            final_positions=(
+                tuple((s.position.x, s.position.y) for s in world.sensors)
+                if spec.keep_positions
+                else None
+            ),
+        )
+
+
+@register_scheme("CPVF")
+class CPVFAdapter(PeriodSchemeAdapter):
+    """Connectivity-Preserved Virtual Force deployment (Section 4)."""
+
+    name = "CPVF"
+
+    def build_scheme(self, settings, params: Dict) -> DeploymentScheme:
+        return CPVFScheme(
+            oscillation_delta=settings.oscillation_delta,
+            oscillation_mode=settings.oscillation_mode,
+            **params,
+        )
+
+
+@register_scheme("FLOOR")
+class FloorAdapter(PeriodSchemeAdapter):
+    """Floor-based deployment (Section 5)."""
+
+    name = "FLOOR"
+
+    def build_scheme(self, settings, params: Dict) -> DeploymentScheme:
+        return FloorScheme(invitation_ttl=settings.invitation_ttl, **params)
+
+
+# ----------------------------------------------------------------------
+# Round-based VD baselines (VOR, Minimax) with explosion dispersal
+# ----------------------------------------------------------------------
+class VDSchemeAdapter(SchemeAdapter):
+    """Adapter base for the round-based, connectivity-ignorant VD schemes.
+
+    From the scenario's (typically clustered) start the adapter first runs
+    the minimum-cost explosion dispersal, then the scheme's Voronoi rounds;
+    the recorded moving distance charges both stages, as in Fig 11.
+
+    Scheme parameters: ``rounds`` (default 10) and ``check_voronoi``
+    (default ``False``; when set, the record's ``all_voronoi_cells_correct``
+    extra reports whether every locally-constructed cell was correct).
+    """
+
+    scheme_class = None  # type: ignore[assignment]
+
+    def execute(self, spec: RunSpec) -> RunRecord:
+        scenario = spec.scenario
+        params = thaw_params(spec.scheme_params)
+        rounds = int(params.pop("rounds", 10))
+        check_voronoi = bool(params.pop("check_voronoi", False))
+        _reject_unknown_params(self.name, params)
+
+        field = scenario.build_field()
+        config = scenario.build_config()
+        rng = random.Random(scenario.seed)
+        initial = scenario.placement_strategy()(config, field, rng)
+        exploded = explode(initial, field, rng)
+
+        scheme = self.scheme_class(
+            field, scenario.communication_range, scenario.sensing_range
+        )
+        vd_result = scheme.run(exploded.positions, rounds=rounds)
+        per_sensor = [
+            explosion + rounds_distance
+            for explosion, rounds_distance in zip(
+                exploded.per_sensor_distance, vd_result.per_sensor_distance
+            )
+        ]
+        total_distance = sum(per_sensor)
+        extras = {}
+        if check_voronoi:
+            vd_check = diagram_is_correct(
+                vd_result.final_positions, scenario.communication_range, field
+            )
+            extras["all_voronoi_cells_correct"] = vd_check.all_correct
+        return RunRecord(
+            spec=spec,
+            scheme=self.name,
+            coverage=scheme.coverage(
+                vd_result.final_positions, scenario.coverage_resolution
+            ),
+            average_moving_distance=(
+                total_distance / len(per_sensor) if per_sensor else 0.0
+            ),
+            total_moving_distance=total_distance,
+            total_messages=0,
+            connected=positions_are_connected(
+                vd_result.final_positions, scenario.communication_range
+            ),
+            periods_executed=vd_result.rounds_executed,
+            extras=extras,
+            final_positions=(
+                tuple(p.as_tuple() for p in vd_result.final_positions)
+                if spec.keep_positions
+                else None
+            ),
+        )
+
+
+@register_scheme("VOR")
+class VorAdapter(VDSchemeAdapter):
+    """The VOR baseline: move toward the farthest Voronoi vertex."""
+
+    name = "VOR"
+    scheme_class = VorScheme
+
+
+@register_scheme("Minimax")
+class MinimaxAdapter(VDSchemeAdapter):
+    """The Minimax baseline: move to the cell's minimax point."""
+
+    name = "Minimax"
+    scheme_class = MinimaxScheme
+
+
+# ----------------------------------------------------------------------
+# Analytic baselines (no simulation)
+# ----------------------------------------------------------------------
+@register_scheme("OPT")
+class OptAdapter(SchemeAdapter):
+    """The centralised OPT strip pattern (coverage upper baseline, Fig 9)."""
+
+    name = "OPT"
+
+    def execute(self, spec: RunSpec) -> RunRecord:
+        _reject_unknown_params(self.name, thaw_params(spec.scheme_params))
+        scenario = spec.scenario
+        field = scenario.build_field()
+        pattern = OptStripPattern(
+            field, scenario.communication_range, scenario.sensing_range
+        )
+        positions = pattern.positions_for_count(scenario.sensor_count)
+        return RunRecord(
+            spec=spec,
+            scheme=self.name,
+            coverage=field.coverage_fraction(
+                positions, scenario.sensing_range, scenario.coverage_resolution
+            ),
+            average_moving_distance=0.0,
+            total_moving_distance=0.0,
+            total_messages=0,
+            connected=True,
+            final_positions=(
+                tuple(p.as_tuple() for p in positions)
+                if spec.keep_positions
+                else None
+            ),
+        )
+
+
+@register_scheme("OPT-Hungarian")
+class OptHungarianAdapter(SchemeAdapter):
+    """Hungarian lower bound on the distance to reach the OPT pattern."""
+
+    name = "OPT-Hungarian"
+
+    def execute(self, spec: RunSpec) -> RunRecord:
+        _reject_unknown_params(self.name, thaw_params(spec.scheme_params))
+        scenario = spec.scenario
+        field = scenario.build_field()
+        pattern = OptStripPattern(
+            field, scenario.communication_range, scenario.sensing_range
+        )
+        targets = pattern.positions_for_count(scenario.sensor_count)
+        average, coverage = hungarian_bound(scenario, targets, field)
+        return RunRecord(
+            spec=spec,
+            scheme=self.name,
+            coverage=coverage,
+            average_moving_distance=average,
+            total_moving_distance=average * scenario.sensor_count,
+            total_messages=0,
+            connected=True,
+            final_positions=(
+                tuple(p.as_tuple() for p in targets)
+                if spec.keep_positions
+                else None
+            ),
+        )

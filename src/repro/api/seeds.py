@@ -1,0 +1,35 @@
+"""Deterministic seed derivation for sweep expansion.
+
+Sweeps that repeat a scenario (Fig 13's 300 random-obstacle deployments,
+for instance) need one independent random stream per repetition, and the
+streams must not depend on *how* the sweep is executed: a run sharded over
+eight worker processes has to produce records identical to the serial run.
+The derivation below is therefore a pure function of the base seed and the
+repetition's identity — a hash-based seed-sequence spawn, stable across
+processes, platforms and ``PYTHONHASHSEED`` settings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+__all__ = ["derive_seed", "spawn_seeds"]
+
+
+def derive_seed(base_seed: int, *keys) -> int:
+    """A 31-bit seed derived deterministically from ``base_seed`` and ``keys``.
+
+    ``keys`` may be any mix of ints and strings identifying the child stream
+    (a repetition index, an axis label, ...).  Distinct key tuples yield
+    independent-looking seeds; the same tuple always yields the same seed.
+    """
+    digest = hashlib.blake2b(
+        repr((int(base_seed),) + tuple(keys)).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 33
+
+
+def spawn_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` child seeds spawned from ``base_seed`` (one per repetition)."""
+    return [derive_seed(base_seed, index) for index in range(count)]

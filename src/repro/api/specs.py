@@ -1,0 +1,282 @@
+"""Run and sweep specifications and the typed run record.
+
+The paper's whole evaluation is a grid of independent runs — scheme
+crossed with ranges, population sizes, seeds and fields.  This module
+gives that grid a declarative shape:
+
+* :class:`RunSpec` — one run: a :class:`~repro.api.scenario.ScenarioSpec`
+  plus a registered scheme name, scheme parameters, tracing options and
+  free-form tags for experiment bookkeeping;
+* :class:`RunRecord` — the typed, JSON-serializable outcome of one run;
+* :class:`SweepSpec` — a named tuple of runs, with a :meth:`SweepSpec.grid`
+  helper that expands cartesian axes and spawns per-repetition seeds.
+
+Everything is frozen and picklable, so sweeps shard cleanly across worker
+processes (:class:`repro.api.sweep.SweepRunner`) and records persist as
+JSON artifacts (``runner --out``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .scenario import Params, ScenarioSpec, freeze_params, thaw_params
+from .seeds import derive_seed
+
+__all__ = ["TracePoint", "RunSpec", "RunRecord", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """Coverage/metrics snapshot at the end of one traced period."""
+
+    time: float
+    coverage: float
+    average_moving_distance: float
+    total_messages: int
+    connected_sensors: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "TracePoint":
+        return TracePoint(**data)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run: scenario x scheme (+ options and tags)."""
+
+    scenario: ScenarioSpec
+    #: Registered scheme name (see :data:`repro.api.scheme_registry`).
+    scheme: str = "CPVF"
+    #: Scheme-specific options (e.g. ``rounds`` for the VD baselines).
+    scheme_params: Params = ()
+    #: Record a metrics trace every this many periods (``None`` = no trace).
+    trace_every: Optional[int] = None
+    #: Keep the final sensor positions in the record (needed by the
+    #: Hungarian lower bounds and layout plots; off by default to keep
+    #: sweep records light).
+    keep_positions: bool = False
+    #: Free-form experiment bookkeeping (scenario label, sweep axis values,
+    #: repetition index, ...); carried through to the record untouched.
+    tags: Params = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheme_params", freeze_params(self.scheme_params))
+        object.__setattr__(self, "tags", freeze_params(self.tags))
+
+    def tag(self, key: str, default: Any = None) -> Any:
+        """The value of one bookkeeping tag."""
+        return thaw_params(self.tags).get(key, default)
+
+    def replace(self, **overrides) -> "RunSpec":
+        """A copy with some fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "scheme": self.scheme,
+            "scheme_params": thaw_params(self.scheme_params),
+            "trace_every": self.trace_every,
+            "keep_positions": self.keep_positions,
+            "tags": thaw_params(self.tags),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RunSpec":
+        data = dict(data)
+        data["scenario"] = ScenarioSpec.from_dict(data["scenario"])
+        return RunSpec(**data)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Typed outcome of one run, identical whether run serially or sharded."""
+
+    spec: RunSpec
+    #: Canonical scheme name (registration-time spelling).
+    scheme: str
+    #: Final coverage fraction in ``[0, 1]``.
+    coverage: float
+    #: Average per-sensor odometer reading in metres.
+    average_moving_distance: float
+    #: Summed odometer readings in metres.
+    total_moving_distance: float
+    #: Total protocol transmissions.
+    total_messages: int
+    #: Whether every sensor has a multi-hop route to the base station.
+    connected: bool
+    #: Periods (or rounds, for the VD baselines) actually executed.
+    periods_executed: int = 0
+    #: Period at which the scheme reported convergence, if it did.
+    converged_at: Optional[int] = None
+    #: Scheme-specific extra metrics (e.g. Voronoi-cell correctness).
+    extras: Params = ()
+    #: Per-period metrics trace (populated when ``spec.trace_every`` is set).
+    trace: Tuple[TracePoint, ...] = ()
+    #: Final ``(x, y)`` positions (populated when ``spec.keep_positions``).
+    final_positions: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extras", freeze_params(self.extras))
+        object.__setattr__(self, "trace", tuple(self.trace))
+        if self.final_positions is not None:
+            object.__setattr__(
+                self,
+                "final_positions",
+                tuple(tuple(point) for point in self.final_positions),
+            )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """The scenario this record was produced under."""
+        return self.spec.scenario
+
+    def tag(self, key: str, default: Any = None) -> Any:
+        """A bookkeeping tag carried over from the spec."""
+        return self.spec.tag(key, default)
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """A scheme-specific extra metric."""
+        return thaw_params(self.extras).get(key, default)
+
+    def messages_per_node(self) -> float:
+        """Average protocol transmissions per sensor."""
+        count = self.spec.scenario.sensor_count
+        return self.total_messages / count if count else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (round-trips through :meth:`from_dict`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "scheme": self.scheme,
+            "coverage": self.coverage,
+            "average_moving_distance": self.average_moving_distance,
+            "total_moving_distance": self.total_moving_distance,
+            "total_messages": self.total_messages,
+            "connected": self.connected,
+            "periods_executed": self.periods_executed,
+            "converged_at": self.converged_at,
+            "extras": thaw_params(self.extras),
+            "trace": [point.to_dict() for point in self.trace],
+            "final_positions": (
+                [list(point) for point in self.final_positions]
+                if self.final_positions is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        data = dict(data)
+        data["spec"] = RunSpec.from_dict(data["spec"])
+        data["trace"] = tuple(
+            TracePoint.from_dict(point) for point in data.get("trace", ())
+        )
+        return RunRecord(**data)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named collection of independent runs (one figure/table sweep)."""
+
+    name: str
+    runs: Tuple[RunSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runs", tuple(self.runs))
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def grid(
+        name: str,
+        scenario: ScenarioSpec,
+        schemes: Sequence[str] = ("CPVF",),
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        repetitions: int = 1,
+        scheme_params: Union[Mapping[str, Any], Params, None] = None,
+        trace_every: Optional[int] = None,
+        keep_positions: bool = False,
+        tags: Union[Mapping[str, Any], Params, None] = None,
+    ) -> "SweepSpec":
+        """Expand a cartesian grid of scenario overrides into runs.
+
+        ``axes`` maps :class:`ScenarioSpec` field names to value lists; the
+        cartesian product of all axes (in insertion order), crossed with
+        ``schemes``, yields one :class:`RunSpec` per point, each tagged with
+        its axis values.  ``repetitions > 1`` repeats every point with a
+        deterministic per-repetition seed spawned from the scenario seed
+        (tagged ``rep``), so sharded and serial executions agree.
+        """
+        axis_items = list((axes or {}).items())
+
+        def expand(index: int, overrides: Dict[str, Any]):
+            if index == len(axis_items):
+                yield dict(overrides)
+                return
+            field_name, values = axis_items[index]
+            for value in values:
+                overrides[field_name] = value
+                yield from expand(index + 1, overrides)
+                del overrides[field_name]
+
+        base_tags = thaw_params(freeze_params(tags))
+        runs: List[RunSpec] = []
+        for overrides in expand(0, {}):
+            for rep in range(max(1, repetitions)):
+                point = scenario.replace(**overrides)
+                run_tags = dict(base_tags)
+                run_tags.update(overrides)
+                if repetitions > 1:
+                    # Spawn from the point's own seed (axes may override it),
+                    # so a seed axis still yields distinct repetitions.
+                    point = point.replace(seed=derive_seed(point.seed, rep))
+                    run_tags["rep"] = rep
+                for scheme in schemes:
+                    runs.append(
+                        RunSpec(
+                            scenario=point,
+                            scheme=scheme,
+                            scheme_params=freeze_params(scheme_params),
+                            trace_every=trace_every,
+                            keep_positions=keep_positions,
+                            tags=run_tags,
+                        )
+                    )
+        return SweepSpec(name=name, runs=tuple(runs))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "runs": [run.to_dict() for run in self.runs]}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "SweepSpec":
+        return SweepSpec(
+            name=data["name"],
+            runs=tuple(RunSpec.from_dict(run) for run in data["runs"]),
+        )

@@ -16,21 +16,27 @@ population and horizon proportionally.  ``SMOKE_SCALE`` (used by the test
 suite) and ``BENCH_SCALE`` (used by the pytest-benchmark harness) keep the
 geometry ratios of the paper while finishing quickly; ``FULL_SCALE``
 reproduces the paper's exact parameters.
+
+The experiment modules themselves are declarative: each builds a
+:class:`~repro.api.specs.SweepSpec` (via :func:`make_scenario` and the
+scheme registry) and executes it through the process-sharded
+:class:`~repro.api.sweep.SweepRunner`.  The helpers below also keep the
+small imperative surface (``make_config`` / ``make_world`` /
+``run_scheme``) for scripts and tests that want a single run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
-from ..core import CPVFScheme, FloorScheme
-from ..field import (
-    Field,
-    clustered_initial_positions,
-    obstacle_free_field,
-    two_obstacle_field,
+from ..api import (
+    PeriodSchemeAdapter,
+    RunRecord,
+    ScenarioSpec,
+    scheme_registry,
 )
-from ..geometry import Vec2
+from ..field import Field
 from ..sim import SimulationConfig, SimulationEngine, SimulationResult, World
 
 __all__ = [
@@ -39,9 +45,11 @@ __all__ = [
     "BENCH_SCALE",
     "SMOKE_SCALE",
     "make_config",
+    "make_scenario",
     "make_world",
     "run_scheme",
     "scheme_factory",
+    "format_coverage_traces",
 ]
 
 
@@ -108,6 +116,35 @@ def make_config(
     )
 
 
+def make_scenario(
+    scale: ExperimentScale,
+    communication_range: float = 60.0,
+    sensing_range: float = 40.0,
+    sensor_count: Optional[int] = None,
+    seed: int = 1,
+    layout: str = "obstacle-free",
+    **overrides,
+) -> ScenarioSpec:
+    """A :class:`ScenarioSpec` on the canonical setting at this scale.
+
+    ``overrides`` pass through to the spec (``layout_params``,
+    ``placement``, ``invitation_ttl``, ``oscillation_delta``, ...).
+    """
+    return ScenarioSpec(
+        field_size=scale.field_size,
+        layout=layout,
+        sensor_count=(
+            sensor_count if sensor_count is not None else scale.sensor_count
+        ),
+        communication_range=communication_range,
+        sensing_range=sensing_range,
+        duration=scale.duration,
+        coverage_resolution=scale.coverage_resolution,
+        seed=seed,
+        **overrides,
+    )
+
+
 def make_world(
     config: SimulationConfig,
     scale: ExperimentScale,
@@ -116,44 +153,44 @@ def make_world(
 ) -> World:
     """Build a world on the canonical field (obstacle-free or two-obstacle).
 
-    Sensors start clustered in the lower-left quadrant of the scaled field,
-    unless the configuration requests a uniform start.
+    Sensors start clustered in the lower-left quadrant of the scaled field
+    (unless the configuration requests a uniform start); the placement is
+    drawn exactly once, by :meth:`World.create`, from the world's own RNG
+    stream — the cluster square already scales with the field.
     """
     if field is None:
+        from ..field import obstacle_free_field, two_obstacle_field
+
         field = (
             two_obstacle_field(scale.field_size)
             if with_obstacles
             else obstacle_free_field(scale.field_size)
         )
-    world = World.create(config, field, initial_positions=None)
-    if config.clustered_start:
-        # World.create already used the cluster square of side 500 m; redo
-        # the placement with the scaled cluster (half the scaled field).
-        import random as _random
-
-        rng = _random.Random(config.seed)
-        positions = clustered_initial_positions(
-            config.sensor_count,
-            rng,
-            cluster_size=scale.field_size / 2.0,
-            field=field,
-        )
-        for sensor, position in zip(world.sensors, positions):
-            sensor.position = position
-    return world
+    return World.create(config, field)
 
 
 def scheme_factory(name: str, config: SimulationConfig) -> Callable[[], object]:
-    """A factory for a scheme instance by name ("CPVF" or "FLOOR")."""
-    normalized = name.strip().upper()
-    if normalized == "CPVF":
-        return lambda: CPVFScheme(
-            oscillation_delta=config.oscillation_delta,
-            oscillation_mode=config.oscillation_mode,
+    """A factory for a period-based scheme instance by registered name.
+
+    Only engine-driven schemes (CPVF, FLOOR, ...) can be instantiated this
+    way; round-based and analytic baselines run through
+    :func:`repro.api.execute_run` instead.  Unknown or non-period names
+    raise :class:`ValueError` listing the period-based schemes available.
+    """
+    try:
+        adapter = scheme_registry.get(name)
+    except KeyError:
+        adapter = None
+    if not isinstance(adapter, PeriodSchemeAdapter):
+        available = sorted(
+            n
+            for n in scheme_registry.names()
+            if isinstance(scheme_registry.get(n), PeriodSchemeAdapter)
         )
-    if normalized == "FLOOR":
-        return lambda: FloorScheme(invitation_ttl=config.invitation_ttl)
-    raise ValueError(f"unknown scheme name: {name!r}")
+        raise ValueError(
+            f"unknown scheme name: {name!r}; period-based schemes: {available}"
+        )
+    return lambda: adapter.build_scheme(config, {})
 
 
 def run_scheme(
@@ -167,10 +204,12 @@ def run_scheme(
     seed: int = 1,
     **config_overrides,
 ) -> SimulationResult:
-    """Run one scheme on the canonical setting and return its result.
+    """Run one period-based scheme on the canonical setting.
 
-    The returned result keeps a reference to the simulated world so callers
-    can inspect final positions (e.g. for the Fig 11 Hungarian bounds).
+    A convenience wrapper for scripts and tests that want a single
+    simulation with the full :class:`SimulationResult` (including the
+    world).  Experiments run grids of these through
+    :class:`~repro.api.sweep.SweepRunner` instead.
     """
     config = make_config(
         scale,
@@ -184,3 +223,32 @@ def run_scheme(
     scheme = scheme_factory(scheme_name, config)()
     engine = SimulationEngine(world, scheme, keep_world=True)
     return engine.run()
+
+
+def format_coverage_traces(
+    records: Sequence[RunRecord],
+    label: Callable[[RunRecord], str] = lambda r: r.scheme,
+    max_points: int = 12,
+) -> str:
+    """Render the per-period coverage time series of traced records.
+
+    Returns an empty string when no record carries a trace (i.e. the sweep
+    ran without ``trace_every``), so formatters can append it blindly.
+    """
+    traced = [r for r in records if r.trace]
+    if not traced:
+        return ""
+    lines = ["coverage over time (traced periods)"]
+    for record in traced:
+        points = list(record.trace)
+        if len(points) > max_points:
+            stride = max(1, len(points) // max_points)
+            sampled = points[::stride]
+            if sampled[-1] is not points[-1]:
+                sampled.append(points[-1])
+            points = sampled
+        series = " ".join(
+            f"{p.time:.0f}s:{100 * p.coverage:.1f}%" for p in points
+        )
+        lines.append(f"  {label(record):<12s} {series}")
+    return "\n".join(lines)

@@ -7,21 +7,28 @@ With ``rs = 60 m`` and ``rc / rs`` swept from 0.8 to 4, the paper observes:
   (VOR) / ``>= 4`` (Minimax), and their coverage suffers below that;
 * once ``rc / rs`` is large (>= 2.5) the VD schemes perform well and can
   slightly exceed FLOOR because they ignore the connectivity constraint.
+
+The VD baselines run through the same registry as FLOOR: their adapter
+handles the explosion dispersal and the Voronoi rounds, and reports the
+cell-correctness check as a record extra (``check_voronoi``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from random import Random
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from ..baselines import MinimaxScheme, VorScheme, explode
-from ..field import clustered_initial_positions, obstacle_free_field
-from ..metrics import positions_are_connected
-from ..voronoi import diagram_is_correct
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec
+from .common import ExperimentScale, FULL_SCALE, make_scenario
 
-__all__ = ["Fig10Row", "DEFAULT_RATIOS", "run_fig10", "format_fig10"]
+__all__ = [
+    "Fig10Row",
+    "DEFAULT_RATIOS",
+    "sweep_fig10",
+    "rows_fig10",
+    "run_fig10",
+    "format_fig10",
+]
 
 #: ``rc / rs`` ratios swept by the figure.
 DEFAULT_RATIOS = (0.8, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0)
@@ -40,6 +47,63 @@ class Fig10Row:
     all_voronoi_cells_correct: bool
 
 
+def sweep_fig10(
+    scale: ExperimentScale = FULL_SCALE,
+    ratios: Sequence[float] | None = None,
+    sensing_range: float = 60.0,
+    vd_rounds: int = 10,
+    seed: int = 1,
+    include_floor: bool = True,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative Figure 10 sweep."""
+    runs = []
+    for ratio in list(ratios or DEFAULT_RATIOS):
+        scenario = make_scenario(
+            scale,
+            communication_range=ratio * sensing_range,
+            sensing_range=sensing_range,
+            seed=seed,
+        )
+        if include_floor:
+            runs.append(
+                RunSpec(
+                    scenario=scenario,
+                    scheme="FLOOR",
+                    trace_every=trace_every,
+                    tags={"ratio": ratio},
+                )
+            )
+        for vd_scheme in ("VOR", "Minimax"):
+            runs.append(
+                RunSpec(
+                    scenario=scenario,
+                    scheme=vd_scheme,
+                    scheme_params={"rounds": vd_rounds, "check_voronoi": True},
+                    tags={"ratio": ratio},
+                )
+            )
+    return SweepSpec(name="fig10", runs=tuple(runs))
+
+
+def rows_fig10(records: Sequence[RunRecord]) -> List[Fig10Row]:
+    """Figure 10 rows from executed sweep records."""
+    return [
+        Fig10Row(
+            scheme=record.scheme,
+            ratio=record.tag("ratio"),
+            communication_range=record.scenario.communication_range,
+            sensing_range=record.scenario.sensing_range,
+            coverage=record.coverage,
+            connected=record.connected,
+            all_voronoi_cells_correct=record.extra(
+                "all_voronoi_cells_correct", True
+            ),
+        )
+        for record in records
+    ]
+
+
 def run_fig10(
     scale: ExperimentScale = FULL_SCALE,
     ratios: Sequence[float] | None = None,
@@ -47,64 +111,20 @@ def run_fig10(
     vd_rounds: int = 10,
     seed: int = 1,
     include_floor: bool = True,
+    jobs: int = 1,
 ) -> List[Fig10Row]:
-    """Run the Figure 10 sweep."""
-    ratios = list(ratios or DEFAULT_RATIOS)
-    field = obstacle_free_field(scale.field_size)
-    rows: List[Fig10Row] = []
-
-    for ratio in ratios:
-        rc = ratio * sensing_range
-
-        if include_floor:
-            floor_result = run_scheme(
-                "FLOOR",
-                scale,
-                communication_range=rc,
-                sensing_range=sensing_range,
-                seed=seed,
-                field=field,
-            )
-            floor_world = floor_result.world
-            floor_positions = floor_world.positions() if floor_world else []
-            rows.append(
-                Fig10Row(
-                    scheme="FLOOR",
-                    ratio=ratio,
-                    communication_range=rc,
-                    sensing_range=sensing_range,
-                    coverage=floor_result.final_coverage,
-                    connected=floor_result.connected,
-                    all_voronoi_cells_correct=True,
-                )
-            )
-
-        # VOR and Minimax: explosion from the clustered start, then rounds.
-        rng = Random(seed)
-        initial = clustered_initial_positions(
-            scale.sensor_count, rng, cluster_size=scale.field_size / 2.0, field=field
+    """Run the Figure 10 sweep (optionally sharded over ``jobs`` processes)."""
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig10(
+            scale,
+            ratios=ratios,
+            sensing_range=sensing_range,
+            vd_rounds=vd_rounds,
+            seed=seed,
+            include_floor=include_floor,
         )
-        exploded = explode(initial, field, rng)
-        for scheme_cls in (VorScheme, MinimaxScheme):
-            scheme = scheme_cls(field, rc, sensing_range)
-            vd_result = scheme.run(exploded.positions, rounds=vd_rounds)
-            coverage = scheme.coverage(
-                vd_result.final_positions, scale.coverage_resolution
-            )
-            connected = positions_are_connected(vd_result.final_positions, rc)
-            vd_check = diagram_is_correct(vd_result.final_positions, rc, field)
-            rows.append(
-                Fig10Row(
-                    scheme=scheme.name,
-                    ratio=ratio,
-                    communication_range=rc,
-                    sensing_range=sensing_range,
-                    coverage=coverage,
-                    connected=connected,
-                    all_voronoi_cells_correct=vd_check.all_correct,
-                )
-            )
-    return rows
+    )
+    return rows_fig10(records)
 
 
 def format_fig10(rows: List[Fig10Row]) -> str:

@@ -16,20 +16,25 @@ The qualitative claims being reproduced: FLOOR moves far less than VOR and
 Minimax (whose explosion dominates); CPVF needs roughly twice FLOOR's
 distance because of oscillation; and FLOOR sits a modest factor (the paper
 reports 15.6-38 %) above the Hungarian bound for its own layout.
+
+Five of the six schemes are one sweep (CPVF, FLOOR, VOR, Minimax and the
+analytic OPT-Hungarian all run through the scheme registry); the
+FLOOR-Hungarian bound is derived afterwards from the FLOOR record's final
+positions (``keep_positions=True``) and the scenario's deterministic
+initial placement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from random import Random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from ..assignment import minimum_distance_matching
-from ..baselines import MinimaxScheme, OptStripPattern, VorScheme, explode
-from ..field import clustered_initial_positions, obstacle_free_field
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec
+from ..api.schemes import hungarian_bound
+from ..geometry import Vec2
+from .common import ExperimentScale, FULL_SCALE, make_scenario
 
-__all__ = ["Fig11Row", "run_fig11", "format_fig11"]
+__all__ = ["Fig11Row", "sweep_fig11", "rows_fig11", "run_fig11", "format_fig11"]
 
 
 @dataclass(frozen=True)
@@ -41,96 +46,85 @@ class Fig11Row:
     coverage: Optional[float]
 
 
+def sweep_fig11(
+    scale: ExperimentScale = FULL_SCALE,
+    communication_range: float = 60.0,
+    sensing_range: float = 40.0,
+    vd_rounds: int = 10,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative Figure 11 sweep (five registered schemes)."""
+    scenario = make_scenario(
+        scale,
+        communication_range=communication_range,
+        sensing_range=sensing_range,
+        seed=seed,
+    )
+    vd_params = {"rounds": vd_rounds}
+    runs = (
+        RunSpec(scenario=scenario, scheme="CPVF", trace_every=trace_every),
+        # FLOOR keeps its final layout so the FLOOR-Hungarian lower bound
+        # can be derived from the record afterwards.
+        RunSpec(
+            scenario=scenario,
+            scheme="FLOOR",
+            trace_every=trace_every,
+            keep_positions=True,
+        ),
+        RunSpec(scenario=scenario, scheme="VOR", scheme_params=vd_params),
+        RunSpec(scenario=scenario, scheme="Minimax", scheme_params=vd_params),
+        RunSpec(scenario=scenario, scheme="OPT-Hungarian"),
+    )
+    return SweepSpec(name="fig11", runs=runs)
+
+
+def rows_fig11(records: Sequence[RunRecord]) -> List[Fig11Row]:
+    """Figure 11 rows, with the derived FLOOR-Hungarian bound appended."""
+    rows = [
+        Fig11Row(
+            scheme=record.scheme,
+            average_moving_distance=record.average_moving_distance,
+            coverage=record.coverage,
+        )
+        for record in records
+    ]
+    floor_record = next(
+        (r for r in records if r.scheme == "FLOOR" and r.final_positions), None
+    )
+    if floor_record is not None:
+        scenario = floor_record.scenario
+        layout = [Vec2(x, y) for x, y in floor_record.final_positions]
+        average, coverage = hungarian_bound(scenario, layout)
+        rows.append(
+            Fig11Row(
+                scheme="FLOOR-Hungarian",
+                average_moving_distance=average,
+                coverage=coverage,
+            )
+        )
+    return rows
+
+
 def run_fig11(
     scale: ExperimentScale = FULL_SCALE,
     communication_range: float = 60.0,
     sensing_range: float = 40.0,
     vd_rounds: int = 10,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[Fig11Row]:
-    """Run the Figure 11 comparison."""
-    field = obstacle_free_field(scale.field_size)
-    rows: List[Fig11Row] = []
-
-    rng = Random(seed)
-    initial = clustered_initial_positions(
-        scale.sensor_count, rng, cluster_size=scale.field_size / 2.0, field=field
-    )
-    initial_tuples = [p.as_tuple() for p in initial]
-
-    # 1-2. CPVF and FLOOR (simulated).
-    floor_layout = None
-    for scheme_name in ("CPVF", "FLOOR"):
-        result = run_scheme(
-            scheme_name,
+    """Run the Figure 11 comparison (optionally sharded over ``jobs``)."""
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig11(
             scale,
             communication_range=communication_range,
             sensing_range=sensing_range,
+            vd_rounds=vd_rounds,
             seed=seed,
-            field=field,
-        )
-        rows.append(
-            Fig11Row(
-                scheme=scheme_name,
-                average_moving_distance=result.average_moving_distance,
-                coverage=result.final_coverage,
-            )
-        )
-        if scheme_name == "FLOOR" and result.world is not None:
-            floor_layout = result.world.positions()
-
-    # 3-4. VOR and Minimax: minimum-cost explosion plus the VD rounds.
-    exploded = explode(initial, field, Random(seed))
-    for scheme_cls in (VorScheme, MinimaxScheme):
-        scheme = scheme_cls(field, communication_range, sensing_range)
-        vd_result = scheme.run(exploded.positions, rounds=vd_rounds)
-        per_sensor = [
-            explosion + rounds_distance
-            for explosion, rounds_distance in zip(
-                exploded.per_sensor_distance, vd_result.per_sensor_distance
-            )
-        ]
-        rows.append(
-            Fig11Row(
-                scheme=scheme.name,
-                average_moving_distance=sum(per_sensor) / len(per_sensor),
-                coverage=scheme.coverage(
-                    vd_result.final_positions, scale.coverage_resolution
-                ),
-            )
-        )
-
-    # 5. Hungarian lower bound to reach the OPT pattern.
-    pattern = OptStripPattern(field, communication_range, sensing_range)
-    opt_targets = pattern.positions_for_count(scale.sensor_count)
-    _, opt_total = minimum_distance_matching(
-        initial_tuples, [p.as_tuple() for p in opt_targets]
-    )
-    rows.append(
-        Fig11Row(
-            scheme="OPT-Hungarian",
-            average_moving_distance=opt_total / scale.sensor_count,
-            coverage=field.coverage_fraction(
-                opt_targets, sensing_range, scale.coverage_resolution
-            ),
         )
     )
-
-    # 6. Hungarian lower bound to reach FLOOR's own final layout.
-    if floor_layout is not None:
-        _, floor_total = minimum_distance_matching(
-            initial_tuples, [p.as_tuple() for p in floor_layout]
-        )
-        rows.append(
-            Fig11Row(
-                scheme="FLOOR-Hungarian",
-                average_moving_distance=floor_total / scale.sensor_count,
-                coverage=field.coverage_fraction(
-                    floor_layout, sensing_range, scale.coverage_resolution
-                ),
-            )
-        )
-    return rows
+    return rows_fig11(records)
 
 
 def format_fig11(rows: List[Fig11Row]) -> str:

@@ -6,19 +6,31 @@ cumulative distribution functions of coverage and average moving distance
 for both schemes.  The headline findings: FLOOR's mean coverage is more
 than 20 percentage points higher than CPVF's, and its mean moving distance
 is less than half of CPVF's.
+
+Each repetition is one scenario: the random obstacle layout is part of the
+scenario spec (the ``random-obstacles`` registered layout, seeded by a
+deterministic per-repetition spawn of the base seed), so repetitions are
+fully independent and the sweep shards across processes with records
+identical to the serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from random import Random
-from typing import Dict, List
+from typing import List, Optional, Sequence
 
-from ..field import RandomObstacleConfig, generate_random_obstacle_field
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec, derive_seed
 from ..metrics import EmpiricalCDF
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from .common import ExperimentScale, FULL_SCALE, make_scenario
 
-__all__ = ["Fig13Run", "Fig13Summary", "run_fig13", "format_fig13"]
+__all__ = [
+    "Fig13Run",
+    "Fig13Summary",
+    "sweep_fig13",
+    "summary_fig13",
+    "run_fig13",
+    "format_fig13",
+]
 
 
 @dataclass(frozen=True)
@@ -60,47 +72,85 @@ class Fig13Summary:
         return sum(values) / len(values) if values else 0.0
 
 
+def sweep_fig13(
+    scale: ExperimentScale = FULL_SCALE,
+    repetitions: int | None = None,
+    communication_range: float = 60.0,
+    sensing_range: float = 40.0,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative random-obstacle sweep.
+
+    ``repetitions`` defaults to the scale's value (300 at full scale).
+    Every repetition gets an independent run seed and obstacle-layout seed
+    spawned deterministically from ``seed``.
+    """
+    reps = repetitions if repetitions is not None else scale.repetitions
+    runs = []
+    for rep in range(reps):
+        scenario = make_scenario(
+            scale,
+            communication_range=communication_range,
+            sensing_range=sensing_range,
+            seed=derive_seed(seed, rep),
+            layout="random-obstacles",
+            layout_params={
+                "seed": derive_seed(seed, rep, "obstacles"),
+                "min_side": 0.08 * scale.field_size,
+                "max_side": 0.4 * scale.field_size,
+                "keep_clear_radius": max(
+                    communication_range, 0.06 * scale.field_size
+                ),
+            },
+        )
+        for scheme in ("CPVF", "FLOOR"):
+            runs.append(
+                RunSpec(
+                    scenario=scenario,
+                    scheme=scheme,
+                    trace_every=trace_every,
+                    tags={"rep": rep},
+                )
+            )
+    return SweepSpec(name="fig13", runs=tuple(runs))
+
+
+def summary_fig13(records: Sequence[RunRecord]) -> Fig13Summary:
+    """The Figure 13 aggregate from executed sweep records."""
+    return Fig13Summary(
+        runs=[
+            Fig13Run(
+                run_index=record.tag("rep"),
+                scheme=record.scheme,
+                obstacle_count=record.extra("obstacle_count", 0),
+                coverage=record.coverage,
+                average_moving_distance=record.average_moving_distance,
+            )
+            for record in records
+        ]
+    )
+
+
 def run_fig13(
     scale: ExperimentScale = FULL_SCALE,
     repetitions: int | None = None,
     communication_range: float = 60.0,
     sensing_range: float = 40.0,
     seed: int = 1,
+    jobs: int = 1,
 ) -> Fig13Summary:
-    """Run the random-obstacle comparison.
-
-    ``repetitions`` defaults to the scale's value (300 at full scale).
-    """
-    reps = repetitions if repetitions is not None else scale.repetitions
-    runs: List[Fig13Run] = []
-    obstacle_rng = Random(seed)
-    config = RandomObstacleConfig(
-        field_size=scale.field_size,
-        min_side=0.08 * scale.field_size,
-        max_side=0.4 * scale.field_size,
-        keep_clear_radius=max(communication_range, 0.06 * scale.field_size),
+    """Run the random-obstacle comparison (optionally sharded)."""
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig13(
+            scale,
+            repetitions=repetitions,
+            communication_range=communication_range,
+            sensing_range=sensing_range,
+            seed=seed,
+        )
     )
-    for run_index in range(reps):
-        field = generate_random_obstacle_field(obstacle_rng, config)
-        for scheme_name in ("CPVF", "FLOOR"):
-            result = run_scheme(
-                scheme_name,
-                scale,
-                communication_range=communication_range,
-                sensing_range=sensing_range,
-                seed=seed + run_index,
-                field=field,
-            )
-            runs.append(
-                Fig13Run(
-                    run_index=run_index,
-                    scheme=scheme_name,
-                    obstacle_count=len(field.obstacles),
-                    coverage=result.final_coverage,
-                    average_moving_distance=result.average_moving_distance,
-                )
-            )
-    return Fig13Summary(runs=runs)
+    return summary_fig13(records)
 
 
 def format_fig13(summary: Fig13Summary, cdf_points: int = 6) -> str:

@@ -10,16 +10,31 @@ The qualitative claims being reproduced: coverage collapses when ``rc``
 drops below ``rs`` (sensors cluster because the connectivity constraint
 keeps them within ``rc`` of their tree neighbours), and obstacles trap a
 large part of the population inside the initial quadrant.
+
+The experiment is a three-run sweep: :func:`sweep_fig3` declares the
+:class:`~repro.api.specs.RunSpec` grid, :func:`rows_fig3` turns the
+records into rows, and :func:`run_fig3` drives both through a
+:class:`~repro.api.sweep.SweepRunner`.  Pass ``trace_every`` to record the
+per-period coverage time series (rendered by the CLI / formatter).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec
+from .common import ExperimentScale, FULL_SCALE, format_coverage_traces, make_scenario
 
-__all__ = ["Fig3Row", "SCENARIOS", "run_fig3", "format_fig3"]
+__all__ = [
+    "Fig3Row",
+    "SCENARIOS",
+    "sweep_fig3",
+    "rows_fig3",
+    "run_fig3",
+    "format_fig3",
+    "format_fig3_records",
+]
 
 #: The three scenarios of Figure 3: (label, rc, rs, with_obstacles, paper coverage).
 SCENARIOS = (
@@ -43,35 +58,72 @@ class Fig3Row:
     average_moving_distance: float
 
 
+def sweep_fig3(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 1,
+    scheme_name: str = "CPVF",
+    trace_every: Optional[int] = None,
+    paper_coverage=None,
+) -> SweepSpec:
+    """The declarative Figure 3 sweep (CPVF by default).
+
+    ``paper_coverage`` optionally remaps the per-scenario paper values
+    (Figure 8 reuses this sweep with FLOOR's numbers).
+    """
+    runs = []
+    for label, rc, rs, with_obstacles, paper in SCENARIOS:
+        if paper_coverage is not None:
+            paper = paper_coverage[label]
+        runs.append(
+            RunSpec(
+                scenario=make_scenario(
+                    scale,
+                    communication_range=rc,
+                    sensing_range=rs,
+                    seed=seed,
+                    layout="two-obstacle" if with_obstacles else "obstacle-free",
+                ),
+                scheme=scheme_name,
+                trace_every=trace_every,
+                tags={
+                    "scenario": label,
+                    "with_obstacles": with_obstacles,
+                    "paper_coverage": paper,
+                },
+            )
+        )
+    return SweepSpec(name="fig3", runs=tuple(runs))
+
+
+def rows_fig3(records: Sequence[RunRecord]) -> List[Fig3Row]:
+    """Figure 3 rows from executed sweep records."""
+    return [
+        Fig3Row(
+            scenario=record.tag("scenario"),
+            communication_range=record.scenario.communication_range,
+            sensing_range=record.scenario.sensing_range,
+            with_obstacles=record.tag("with_obstacles"),
+            coverage=record.coverage,
+            paper_coverage=record.tag("paper_coverage"),
+            connected=record.connected,
+            average_moving_distance=record.average_moving_distance,
+        )
+        for record in records
+    ]
+
+
 def run_fig3(
     scale: ExperimentScale = FULL_SCALE,
     seed: int = 1,
     scheme_name: str = "CPVF",
+    jobs: int = 1,
+    trace_every: Optional[int] = None,
 ) -> List[Fig3Row]:
     """Run the three Figure 3 scenarios (CPVF by default)."""
-    rows: List[Fig3Row] = []
-    for label, rc, rs, with_obstacles, paper in SCENARIOS:
-        result = run_scheme(
-            scheme_name,
-            scale,
-            communication_range=rc,
-            sensing_range=rs,
-            with_obstacles=with_obstacles,
-            seed=seed,
-        )
-        rows.append(
-            Fig3Row(
-                scenario=label,
-                communication_range=rc,
-                sensing_range=rs,
-                with_obstacles=with_obstacles,
-                coverage=result.final_coverage,
-                paper_coverage=paper,
-                connected=result.connected,
-                average_moving_distance=result.average_moving_distance,
-            )
-        )
-    return rows
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig3(scale, seed=seed, scheme_name=scheme_name, trace_every=trace_every)
+    )
+    return rows_fig3(records)
 
 
 def format_fig3(rows: List[Fig3Row], title: str = "Figure 3 (CPVF)") -> str:
@@ -90,3 +142,14 @@ def format_fig3(rows: List[Fig3Row], title: str = "Figure 3 (CPVF)") -> str:
             f"{row.average_moving_distance:>14.1f}"
         )
     return "\n".join(lines)
+
+
+def format_fig3_records(
+    records: Sequence[RunRecord], title: str = "Figure 3 (CPVF)"
+) -> str:
+    """Full record-level report: the table plus any coverage time series."""
+    report = format_fig3(rows_fig3(records), title=title)
+    traces = format_coverage_traces(
+        records, label=lambda r: f"{r.scheme} ({r.tag('scenario')})"
+    )
+    return report + ("\n" + traces if traces else "")

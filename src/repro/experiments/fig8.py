@@ -10,38 +10,64 @@ The qualitative claims being reproduced: FLOOR beats CPVF in every
 scenario, degrades far more gracefully when ``rc < rs`` (floor separation
 removes the vertical sensing overlap) and has no difficulty expanding
 coverage past obstacles.
+
+Declaratively this is the Figure 3 sweep with the FLOOR scheme and FLOOR's
+paper values; see :mod:`repro.experiments.fig3`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
+from ..api import RunRecord, SweepRunner, SweepSpec
 from .common import ExperimentScale, FULL_SCALE
-from .fig3 import Fig3Row, run_fig3
+from .fig3 import Fig3Row, format_fig3_records, rows_fig3, sweep_fig3
 
-__all__ = ["FIG8_PAPER_COVERAGE", "run_fig8", "format_fig8"]
+__all__ = [
+    "FIG8_PAPER_COVERAGE",
+    "sweep_fig8",
+    "rows_fig8",
+    "run_fig8",
+    "format_fig8",
+    "format_fig8_records",
+]
 
 #: Paper coverage values for FLOOR, keyed by scenario label.
 FIG8_PAPER_COVERAGE = {"a": 0.788, "b": 0.462, "c": 0.725}
 
 
-def run_fig8(scale: ExperimentScale = FULL_SCALE, seed: int = 1) -> List[Fig3Row]:
+def sweep_fig8(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative Figure 8 sweep: the Fig 3 scenarios under FLOOR."""
+    base = sweep_fig3(
+        scale,
+        seed=seed,
+        scheme_name="FLOOR",
+        trace_every=trace_every,
+        paper_coverage=FIG8_PAPER_COVERAGE,
+    )
+    return SweepSpec(name="fig8", runs=base.runs)
+
+
+def rows_fig8(records: Sequence[RunRecord]) -> List[Fig3Row]:
+    """Figure 8 rows from executed sweep records."""
+    return rows_fig3(records)
+
+
+def run_fig8(
+    scale: ExperimentScale = FULL_SCALE,
+    seed: int = 1,
+    jobs: int = 1,
+    trace_every: Optional[int] = None,
+) -> List[Fig3Row]:
     """Run the three Figure 8 scenarios with FLOOR."""
-    rows = run_fig3(scale, seed=seed, scheme_name="FLOOR")
-    return [
-        Fig3Row(
-            scenario=row.scenario,
-            communication_range=row.communication_range,
-            sensing_range=row.sensing_range,
-            with_obstacles=row.with_obstacles,
-            coverage=row.coverage,
-            paper_coverage=FIG8_PAPER_COVERAGE[row.scenario],
-            connected=row.connected,
-            average_moving_distance=row.average_moving_distance,
-        )
-        for row in rows
-    ]
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig8(scale, seed=seed, trace_every=trace_every)
+    )
+    return rows_fig8(records)
 
 
 def format_fig8(rows: List[Fig3Row]) -> str:
@@ -49,3 +75,8 @@ def format_fig8(rows: List[Fig3Row]) -> str:
     from .fig3 import format_fig3
 
     return format_fig3(rows, title="Figure 8 (FLOOR)")
+
+
+def format_fig8_records(records: Sequence[RunRecord]) -> str:
+    """Full record-level report: the table plus any coverage time series."""
+    return format_fig3_records(records, title="Figure 8 (FLOOR)")

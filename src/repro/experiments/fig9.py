@@ -10,18 +10,30 @@ combinations and shows that:
   count grow (within a few percentage points for ``rc = rs = 60`` and more
   than 200 sensors);
 * beyond roughly 300 sensors coverage saturates.
+
+The sweep is declared by :func:`sweep_fig9` — one run per
+``(rc, rs) x N x scheme`` point, with OPT riding along as a registered
+analytic scheme — and executes through the process-sharded
+:class:`~repro.api.sweep.SweepRunner`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..baselines import OptStripPattern
-from ..field import obstacle_free_field
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec
+from .common import ExperimentScale, FULL_SCALE, make_scenario
 
-__all__ = ["Fig9Row", "DEFAULT_RANGE_PAIRS", "DEFAULT_SENSOR_COUNTS", "run_fig9", "format_fig9"]
+__all__ = [
+    "Fig9Row",
+    "DEFAULT_RANGE_PAIRS",
+    "DEFAULT_SENSOR_COUNTS",
+    "sweep_fig9",
+    "rows_fig9",
+    "run_fig9",
+    "format_fig9",
+]
 
 #: ``(rc, rs)`` pairs swept in the figure.
 DEFAULT_RANGE_PAIRS: Tuple[Tuple[float, float], ...] = (
@@ -45,60 +57,78 @@ class Fig9Row:
     coverage: float
 
 
+def sweep_fig9(
+    scale: ExperimentScale = FULL_SCALE,
+    sensor_counts: Sequence[int] | None = None,
+    range_pairs: Sequence[Tuple[float, float]] | None = None,
+    schemes: Sequence[str] = ("CPVF", "FLOOR"),
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative Figure 9 sweep.
+
+    Sensor counts are interpreted at paper scale and shrunk proportionally
+    for smaller :class:`ExperimentScale` settings, so the relative sweep
+    shape is preserved.  The OPT pattern is appended at every sweep point
+    as an analytic (no-simulation) scheme.
+    """
+    counts = list(sensor_counts or DEFAULT_SENSOR_COUNTS)
+    pairs = list(range_pairs or DEFAULT_RANGE_PAIRS)
+    runs = []
+    for rc, rs in pairs:
+        for paper_count in counts:
+            scenario = make_scenario(
+                scale,
+                communication_range=rc,
+                sensing_range=rs,
+                sensor_count=scale.scaled_count(paper_count),
+                seed=seed,
+            )
+            for scheme in (*schemes, "OPT"):
+                runs.append(
+                    RunSpec(
+                        scenario=scenario,
+                        scheme=scheme,
+                        trace_every=trace_every if scheme != "OPT" else None,
+                        tags={"paper_count": paper_count},
+                    )
+                )
+    return SweepSpec(name="fig9", runs=tuple(runs))
+
+
+def rows_fig9(records: Sequence[RunRecord]) -> List[Fig9Row]:
+    """Figure 9 rows from executed sweep records."""
+    return [
+        Fig9Row(
+            scheme=record.scheme,
+            sensor_count=record.tag("paper_count"),
+            communication_range=record.scenario.communication_range,
+            sensing_range=record.scenario.sensing_range,
+            coverage=record.coverage,
+        )
+        for record in records
+    ]
+
+
 def run_fig9(
     scale: ExperimentScale = FULL_SCALE,
     sensor_counts: Sequence[int] | None = None,
     range_pairs: Sequence[Tuple[float, float]] | None = None,
     schemes: Sequence[str] = ("CPVF", "FLOOR"),
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[Fig9Row]:
-    """Run the Figure 9 sweep.
-
-    Sensor counts are interpreted at paper scale and shrunk proportionally
-    for smaller :class:`ExperimentScale` settings, so the relative sweep
-    shape is preserved.
-    """
-    counts = list(sensor_counts or DEFAULT_SENSOR_COUNTS)
-    pairs = list(range_pairs or DEFAULT_RANGE_PAIRS)
-    rows: List[Fig9Row] = []
-    field = obstacle_free_field(scale.field_size)
-
-    for rc, rs in pairs:
-        for paper_count in counts:
-            count = scale.scaled_count(paper_count)
-            for scheme in schemes:
-                result = run_scheme(
-                    scheme,
-                    scale,
-                    communication_range=rc,
-                    sensing_range=rs,
-                    sensor_count=count,
-                    seed=seed,
-                    field=field,
-                )
-                rows.append(
-                    Fig9Row(
-                        scheme=scheme,
-                        sensor_count=paper_count,
-                        communication_range=rc,
-                        sensing_range=rs,
-                        coverage=result.final_coverage,
-                    )
-                )
-            # OPT is a closed-form pattern; no simulation needed.
-            pattern = OptStripPattern(field, rc, rs)
-            rows.append(
-                Fig9Row(
-                    scheme="OPT",
-                    sensor_count=paper_count,
-                    communication_range=rc,
-                    sensing_range=rs,
-                    coverage=pattern.coverage_for_count(
-                        count, scale.coverage_resolution
-                    ),
-                )
-            )
-    return rows
+    """Run the Figure 9 sweep (optionally sharded over ``jobs`` processes)."""
+    records = SweepRunner(jobs=jobs).run(
+        sweep_fig9(
+            scale,
+            sensor_counts=sensor_counts,
+            range_pairs=range_pairs,
+            schemes=schemes,
+            seed=seed,
+        )
+    )
+    return rows_fig9(records)
 
 
 def format_fig9(rows: List[Fig9Row]) -> str:

@@ -20,12 +20,13 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from ..api import SweepRunner, default_job_count
 from ..core import CPVFScheme
 from ..core import connectivity as _connectivity
 from ..core import cpvf as _cpvf_module
 from ..sim import World
 from ..spatial import IncrementalCoverage
-from .common import ExperimentScale, make_config, make_world
+from .common import ExperimentScale, SMOKE_SCALE, make_config, make_world
 
 __all__ = [
     "seed_neighbor_table",
@@ -33,6 +34,7 @@ __all__ = [
     "measure_neighbor_table",
     "measure_cpvf_period",
     "measure_coverage",
+    "measure_sweep_throughput",
     "run_perf_suite",
 ]
 
@@ -245,6 +247,49 @@ def measure_coverage(
 
 
 # ----------------------------------------------------------------------
+# Sweep throughput (serial vs process-sharded SweepRunner)
+# ----------------------------------------------------------------------
+def measure_sweep_throughput(
+    jobs: int = None, seed: int = 3
+) -> Dict[str, float]:
+    """Serial vs sharded execution of a smoke-scale Fig 9 sweep.
+
+    Runs the same declarative sweep through ``SweepRunner(jobs=1)`` and
+    ``SweepRunner(jobs=cpu_count)`` and asserts the records are identical
+    (the executor's determinism contract) while timing both.  On a
+    single-core machine the sharded path mostly measures process overhead;
+    the point of the entry is tracking the trajectory as sweeps grow.
+    """
+    from .fig9 import sweep_fig9
+
+    sweep = sweep_fig9(
+        SMOKE_SCALE,
+        sensor_counts=[120, 240],
+        range_pairs=[(40.0, 60.0), (60.0, 60.0)],
+        seed=seed,
+    )
+    jobs = jobs if jobs is not None else default_job_count()
+
+    start = time.perf_counter()
+    serial_records = SweepRunner(jobs=1).run(sweep)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded_records = SweepRunner(jobs=jobs).run(sweep)
+    sharded_s = time.perf_counter() - start
+
+    if serial_records != sharded_records:
+        raise AssertionError("sharded sweep records diverged from serial run")
+    return {
+        "runs": len(sweep.runs),
+        "jobs": jobs,
+        "seed_ms": serial_s * 1000.0,
+        "fast_ms": sharded_s * 1000.0,
+        "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
 # Full suite
 # ----------------------------------------------------------------------
 def run_perf_suite(
@@ -264,4 +309,5 @@ def run_perf_suite(
         ],
         "cpvf_period": [measure_cpvf_period(n, seed=seed) for n in ns],
         "coverage": [measure_coverage(n, seed=seed) for n in ns],
+        "sweep_throughput": [measure_sweep_throughput(seed=seed)],
     }

@@ -1,9 +1,27 @@
 """Run every experiment and print the paper's tables and figures.
 
-This module is the command-line face of the reproduction::
+This module is the command-line face of the reproduction.  Every
+experiment is a declarative :class:`~repro.api.specs.SweepSpec` executed
+through the process-sharded :class:`~repro.api.sweep.SweepRunner`::
 
-    python -m repro.experiments.runner --scale bench
-    python -m repro.experiments.runner --scale full --only fig3 fig8
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner --scale bench --jobs 8
+    python -m repro.experiments.runner --scale full --only fig3 fig8 \\
+        --trace-every 1 --jobs 8 --out results/
+
+``--jobs N`` shards the sweep's independent runs over ``N`` worker
+processes; records are merged deterministically, so ``--jobs 8`` output is
+identical to the serial run.  ``--trace-every K`` records a metrics trace
+every ``K`` periods (Fig 3/8 render it as a coverage time series, and the
+traces are kept in the records).  ``--out DIR`` persists one JSON artifact
+per experiment (the full typed records plus the formatted report); load
+them back with :meth:`repro.api.RunRecord.from_dict`::
+
+    import json
+    from repro.api import RunRecord
+
+    payload = json.load(open("results/fig3.json"))
+    records = [RunRecord.from_dict(r) for r in payload["records"]]
 
 At full scale a complete sweep takes hours; the default ``bench`` scale
 keeps the sweep's shape (relative ordering of schemes, crossover points)
@@ -13,41 +31,141 @@ while finishing on a laptop.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..api import RunRecord, SweepRunner, SweepSpec
 from .common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
-from .fig3 import format_fig3, run_fig3
-from .fig8 import format_fig8, run_fig8
-from .fig9 import format_fig9, run_fig9
-from .fig10 import format_fig10, run_fig10
-from .fig11 import format_fig11, run_fig11
-from .fig12 import format_fig12, run_fig12
-from .fig13 import format_fig13, run_fig13
-from .table1 import format_table1, run_table1
+from .fig3 import format_fig3_records, sweep_fig3
+from .fig8 import format_fig8_records, sweep_fig8
+from .fig9 import format_fig9, rows_fig9, sweep_fig9
+from .fig10 import format_fig10, rows_fig10, sweep_fig10
+from .fig11 import format_fig11, rows_fig11, sweep_fig11
+from .fig12 import format_fig12, rows_fig12, sweep_fig12
+from .fig13 import format_fig13, summary_fig13, sweep_fig13
+from .table1 import format_table1, rows_table1, sweep_table1
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "run_experiment_records", "main"]
 
-#: Experiment name -> (runner, formatter).
-EXPERIMENTS: Dict[str, Callable[[ExperimentScale], str]] = {
-    "fig3": lambda scale: format_fig3(run_fig3(scale)),
-    "fig8": lambda scale: format_fig8(run_fig8(scale)),
-    "fig9": lambda scale: format_fig9(run_fig9(scale)),
-    "fig10": lambda scale: format_fig10(run_fig10(scale)),
-    "fig11": lambda scale: format_fig11(run_fig11(scale)),
-    "fig12": lambda scale: format_fig12(run_fig12(scale)),
-    "fig13": lambda scale: format_fig13(run_fig13(scale)),
-    "table1": lambda scale: format_table1(run_table1(scale)),
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: a sweep builder plus a record presenter."""
+
+    name: str
+    #: ``(scale, seed, trace_every) -> SweepSpec``.
+    build: Callable[[ExperimentScale, int, Optional[int]], SweepSpec]
+    #: ``records -> formatted report``.
+    present: Callable[[Sequence[RunRecord]], str]
+
+
+#: Experiment name -> declarative sweep + presenter.
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.name: exp
+    for exp in (
+        Experiment(
+            "fig3",
+            lambda scale, seed, trace: sweep_fig3(scale, seed=seed, trace_every=trace),
+            format_fig3_records,
+        ),
+        Experiment(
+            "fig8",
+            lambda scale, seed, trace: sweep_fig8(scale, seed=seed, trace_every=trace),
+            format_fig8_records,
+        ),
+        Experiment(
+            "fig9",
+            lambda scale, seed, trace: sweep_fig9(scale, seed=seed, trace_every=trace),
+            lambda records: format_fig9(rows_fig9(records)),
+        ),
+        Experiment(
+            "fig10",
+            lambda scale, seed, trace: sweep_fig10(scale, seed=seed, trace_every=trace),
+            lambda records: format_fig10(rows_fig10(records)),
+        ),
+        Experiment(
+            "fig11",
+            lambda scale, seed, trace: sweep_fig11(scale, seed=seed, trace_every=trace),
+            lambda records: format_fig11(rows_fig11(records)),
+        ),
+        Experiment(
+            "fig12",
+            lambda scale, seed, trace: sweep_fig12(scale, seed=seed, trace_every=trace),
+            lambda records: format_fig12(rows_fig12(records)),
+        ),
+        Experiment(
+            "fig13",
+            lambda scale, seed, trace: sweep_fig13(scale, seed=seed, trace_every=trace),
+            lambda records: format_fig13(summary_fig13(records)),
+        ),
+        Experiment(
+            "table1",
+            lambda scale, seed, trace: sweep_table1(scale, seed=seed, trace_every=trace),
+            lambda records: format_table1(rows_table1(records)),
+        ),
+    )
 }
 
 _SCALES = {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}
 
 
-def run_experiment(name: str, scale: ExperimentScale) -> str:
-    """Run one experiment by name and return its formatted report."""
+def run_experiment_records(
+    name: str,
+    scale: ExperimentScale,
+    jobs: int = 1,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> Tuple[List[RunRecord], str]:
+    """Run one experiment; return its records and formatted report."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name](scale)
+    experiment = EXPERIMENTS[name]
+    sweep = experiment.build(scale, seed, trace_every)
+    records = SweepRunner(jobs=jobs).run(sweep)
+    return records, experiment.present(records)
+
+
+def run_experiment(
+    name: str,
+    scale: ExperimentScale,
+    jobs: int = 1,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> str:
+    """Run one experiment by name and return its formatted report."""
+    _, report = run_experiment_records(
+        name, scale, jobs=jobs, seed=seed, trace_every=trace_every
+    )
+    return report
+
+
+def _write_artifact(
+    out_dir: Path,
+    name: str,
+    scale_name: str,
+    jobs: int,
+    seed: int,
+    trace_every: Optional[int],
+    records: Sequence[RunRecord],
+    report: str,
+) -> Path:
+    """Persist one experiment's records + report as a JSON artifact."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    payload = {
+        "experiment": name,
+        "scale": scale_name,
+        "jobs": jobs,
+        "seed": seed,
+        "trace_every": trace_every,
+        "records": [record.to_dict() for record in records],
+        "report": report,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -65,11 +183,76 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="subset of experiments to run (default: all)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard each sweep over (default: 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="base random seed (per-repetition seeds are spawned from it)",
+    )
+    parser.add_argument(
+        "--trace-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="record a metrics trace every K periods (1 = per-period series)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one JSON artifact per experiment (records + report)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments and exit",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.trace_every is not None and args.trace_every < 1:
+        parser.error("--trace-every must be >= 1")
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
     scale = _SCALES[args.scale]
     names: List[str] = args.only if args.only else sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; choose from {sorted(EXPERIMENTS)}"
+        )
     for name in names:
-        print(run_experiment(name, scale))
+        records, report = run_experiment_records(
+            name,
+            scale,
+            jobs=args.jobs,
+            seed=args.seed,
+            trace_every=args.trace_every,
+        )
+        print(report)
+        if args.out is not None:
+            path = _write_artifact(
+                args.out,
+                name,
+                args.scale,
+                args.jobs,
+                args.seed,
+                args.trace_every,
+                records,
+                report,
+            )
+            print(f"[wrote {path}]")
         print()
     return 0
 

@@ -7,16 +7,28 @@ obstacle-free and two-obstacle environments.  The reported quantities are
 the total number of transmissions (in thousands) and the per-node average;
 overhead grows roughly linearly with the TTL and mildly with ``N``, and the
 per-node load stays within a few messages per second.
+
+The sweep is the full ``environment x N x TTL`` grid of FLOOR runs; the
+TTL is part of each scenario spec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from .common import ExperimentScale, FULL_SCALE, run_scheme
+from ..api import RunRecord, RunSpec, SweepRunner, SweepSpec
+from .common import ExperimentScale, FULL_SCALE, make_scenario
 
-__all__ = ["Table1Row", "DEFAULT_TTL_FRACTIONS", "DEFAULT_SENSOR_COUNTS", "run_table1", "format_table1"]
+__all__ = [
+    "Table1Row",
+    "DEFAULT_TTL_FRACTIONS",
+    "DEFAULT_SENSOR_COUNTS",
+    "sweep_table1",
+    "rows_table1",
+    "run_table1",
+    "format_table1",
+]
 
 #: TTL values as fractions of the network size, as in the paper.
 DEFAULT_TTL_FRACTIONS = (0.1, 0.2, 0.3, 0.4)
@@ -37,6 +49,66 @@ class Table1Row:
     messages_per_node: float
 
 
+def sweep_table1(
+    scale: ExperimentScale = FULL_SCALE,
+    sensor_counts: Sequence[int] | None = None,
+    ttl_fractions: Sequence[float] | None = None,
+    environments: Sequence[str] = ("non-obstacle", "two-obstacle"),
+    communication_range: float = 60.0,
+    sensing_range: float = 40.0,
+    seed: int = 1,
+    trace_every: Optional[int] = None,
+) -> SweepSpec:
+    """The declarative message-overhead sweep."""
+    counts = list(sensor_counts or DEFAULT_SENSOR_COUNTS)
+    fractions = list(ttl_fractions or DEFAULT_TTL_FRACTIONS)
+    runs = []
+    for environment in environments:
+        layout = (
+            "two-obstacle" if environment == "two-obstacle" else "obstacle-free"
+        )
+        for paper_count in counts:
+            count = scale.scaled_count(paper_count)
+            for fraction in fractions:
+                ttl = max(1, int(round(fraction * count)))
+                runs.append(
+                    RunSpec(
+                        scenario=make_scenario(
+                            scale,
+                            communication_range=communication_range,
+                            sensing_range=sensing_range,
+                            sensor_count=count,
+                            seed=seed,
+                            layout=layout,
+                            invitation_ttl=ttl,
+                        ),
+                        scheme="FLOOR",
+                        trace_every=trace_every,
+                        tags={
+                            "environment": environment,
+                            "paper_count": paper_count,
+                            "ttl_fraction": fraction,
+                        },
+                    )
+                )
+    return SweepSpec(name="table1", runs=tuple(runs))
+
+
+def rows_table1(records: Sequence[RunRecord]) -> List[Table1Row]:
+    """Table 1 rows from executed sweep records."""
+    return [
+        Table1Row(
+            environment=record.tag("environment"),
+            sensor_count=record.tag("paper_count"),
+            ttl_fraction=record.tag("ttl_fraction"),
+            ttl=record.scenario.invitation_ttl,
+            total_messages=record.total_messages,
+            messages_per_node=record.messages_per_node(),
+        )
+        for record in records
+    ]
+
+
 def run_table1(
     scale: ExperimentScale = FULL_SCALE,
     sensor_counts: Sequence[int] | None = None,
@@ -45,38 +117,21 @@ def run_table1(
     communication_range: float = 60.0,
     sensing_range: float = 40.0,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Run the message-overhead sweep."""
-    counts = list(sensor_counts or DEFAULT_SENSOR_COUNTS)
-    fractions = list(ttl_fractions or DEFAULT_TTL_FRACTIONS)
-    rows: List[Table1Row] = []
-    for environment in environments:
-        with_obstacles = environment == "two-obstacle"
-        for paper_count in counts:
-            count = scale.scaled_count(paper_count)
-            for fraction in fractions:
-                ttl = max(1, int(round(fraction * count)))
-                result = run_scheme(
-                    "FLOOR",
-                    scale,
-                    communication_range=communication_range,
-                    sensing_range=sensing_range,
-                    sensor_count=count,
-                    with_obstacles=with_obstacles,
-                    seed=seed,
-                    invitation_ttl=ttl,
-                )
-                rows.append(
-                    Table1Row(
-                        environment=environment,
-                        sensor_count=paper_count,
-                        ttl_fraction=fraction,
-                        ttl=ttl,
-                        total_messages=result.total_messages,
-                        messages_per_node=result.total_messages / count,
-                    )
-                )
-    return rows
+    """Run the message-overhead sweep (optionally sharded)."""
+    records = SweepRunner(jobs=jobs).run(
+        sweep_table1(
+            scale,
+            sensor_counts=sensor_counts,
+            ttl_fractions=ttl_fractions,
+            environments=environments,
+            communication_range=communication_range,
+            sensing_range=sensing_range,
+            seed=seed,
+        )
+    )
+    return rows_table1(records)
 
 
 def format_table1(rows: List[Table1Row]) -> str:

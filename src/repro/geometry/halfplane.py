@@ -49,10 +49,18 @@ def bisector_halfplane(site: Vec2, other: Vec2) -> HalfPlane:
     """Half-plane of points at least as close to ``site`` as to ``other``.
 
     ``|p - site|^2 <= |p - other|^2`` rearranges to a linear inequality
-    ``2 (other - site) · p <= |other|^2 - |site|^2``.
+    ``2 (other - site) · p <= |other|^2 - |site|^2``.  The inequality is
+    normalised so the normal is a unit vector: ``signed_distance`` is then
+    the actual Euclidean distance to the bisector line, and epsilon
+    tolerances in ``contains`` mean the same thing whatever the distance
+    between the two sites.
     """
     normal = (other - site) * 2.0
     offset = other.norm_sq() - site.norm_sq()
+    scale = normal.norm()
+    if scale > EPS:
+        normal = normal / scale
+        offset = offset / scale
     return HalfPlane(normal, offset)
 
 

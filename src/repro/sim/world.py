@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..field import (
     Field,
@@ -66,16 +66,23 @@ class World:
         config: SimulationConfig,
         field: Field,
         initial_positions: Optional[Sequence[Vec2]] = None,
+        placement: Optional[Callable[..., Sequence[Vec2]]] = None,
     ) -> "World":
         """Build a world with sensors placed at their initial positions.
 
-        When ``initial_positions`` is omitted, the positions are drawn
+        The placement is drawn exactly once, from the world's own RNG
+        stream.  ``placement`` is a strategy callable
+        ``(config, field, rng) -> positions`` (the scenario layer passes
+        registered strategies here); when omitted, the positions are drawn
         according to ``config.clustered_start`` (clustered lower-left
         quadrant, the paper's main setting, or uniform over the field).
+        Explicit ``initial_positions`` bypass the draw entirely.
         """
         rng = random.Random(config.seed)
         if initial_positions is None:
-            if config.clustered_start:
+            if placement is not None:
+                initial_positions = list(placement(config, field, rng))
+            elif config.clustered_start:
                 # The paper clusters the initial distribution in the lower-left
                 # quadrant (500 x 500 m of a 1000 x 1000 m field); scale the
                 # cluster with the field so reduced-scale runs keep the shape.

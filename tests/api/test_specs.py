@@ -1,0 +1,162 @@
+"""Spec/record construction, grid expansion and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RunRecord,
+    RunSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TracePoint,
+    derive_seed,
+    spawn_seeds,
+)
+
+
+def small_scenario(**overrides):
+    defaults = dict(
+        field_size=300.0,
+        sensor_count=24,
+        duration=80.0,
+        coverage_resolution=15.0,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestScenarioSpec:
+    def test_params_accept_dicts_and_freeze(self):
+        spec = small_scenario(
+            layout="random-obstacles", layout_params={"seed": 9, "min_side": 20.0}
+        )
+        assert spec.layout_params == (("min_side", 20.0), ("seed", 9))
+        # Frozen and hashable: usable as a dict key.
+        assert {spec: 1}[spec] == 1
+
+    def test_json_round_trip(self):
+        spec = small_scenario(
+            layout="two-obstacle",
+            placement="uniform",
+            invitation_ttl=7,
+            oscillation_delta=4.0,
+        )
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_replace(self):
+        spec = small_scenario()
+        assert spec.replace(seed=5).seed == 5
+        assert spec.seed == 2
+
+
+class TestRunSpecAndRecord:
+    def test_run_spec_round_trip(self):
+        spec = RunSpec(
+            scenario=small_scenario(),
+            scheme="VOR",
+            scheme_params={"rounds": 3, "check_voronoi": True},
+            trace_every=10,
+            keep_positions=True,
+            tags={"ratio": 1.5, "label": "x"},
+        )
+        restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.tag("ratio") == 1.5
+
+    def test_run_record_json_round_trip(self):
+        record = RunRecord(
+            spec=RunSpec(scenario=small_scenario(), scheme="CPVF", trace_every=5),
+            scheme="CPVF",
+            coverage=0.42,
+            average_moving_distance=12.5,
+            total_moving_distance=300.0,
+            total_messages=123,
+            connected=True,
+            periods_executed=80,
+            converged_at=None,
+            extras={"obstacle_count": 2},
+            trace=(
+                TracePoint(5.0, 0.3, 4.0, 50, 20),
+                TracePoint(10.0, 0.42, 8.0, 100, 24),
+            ),
+            final_positions=((1.0, 2.0), (3.0, 4.5)),
+        )
+        payload = json.dumps(record.to_dict())
+        restored = RunRecord.from_dict(json.loads(payload))
+        assert restored == record
+        assert restored.extra("obstacle_count") == 2
+        assert restored.trace[1].coverage == pytest.approx(0.42)
+        assert restored.final_positions == ((1.0, 2.0), (3.0, 4.5))
+
+    def test_messages_per_node(self):
+        record = RunRecord(
+            spec=RunSpec(scenario=small_scenario(sensor_count=10)),
+            scheme="CPVF",
+            coverage=0.1,
+            average_moving_distance=0.0,
+            total_moving_distance=0.0,
+            total_messages=50,
+            connected=False,
+        )
+        assert record.messages_per_node() == pytest.approx(5.0)
+
+
+class TestSweepGrid:
+    def test_grid_expands_cartesian_axes(self):
+        sweep = SweepSpec.grid(
+            "grid",
+            small_scenario(),
+            schemes=("CPVF", "FLOOR"),
+            axes={
+                "communication_range": [30.0, 60.0],
+                "sensor_count": [12, 24, 36],
+            },
+        )
+        assert len(sweep) == 2 * 2 * 3
+        # Every run is tagged with its axis values.
+        first = sweep.runs[0]
+        assert first.tag("communication_range") == 30.0
+        assert first.tag("sensor_count") == 12
+        assert first.scenario.communication_range == 30.0
+
+    def test_grid_seed_axis_combines_with_repetitions(self):
+        # A seed axis must yield distinct repetition seeds per axis value
+        # (the spawn derives from the post-override scenario seed).
+        sweep = SweepSpec.grid(
+            "seeded", small_scenario(), axes={"seed": [1, 2, 3]}, repetitions=2
+        )
+        seeds = [run.scenario.seed for run in sweep.runs]
+        assert len(seeds) == 6
+        assert len(set(seeds)) == 6
+
+    def test_grid_repetitions_spawn_deterministic_seeds(self):
+        sweep_a = SweepSpec.grid("reps", small_scenario(), repetitions=3)
+        sweep_b = SweepSpec.grid("reps", small_scenario(), repetitions=3)
+        assert sweep_a == sweep_b
+        seeds = [run.scenario.seed for run in sweep_a.runs]
+        assert len(set(seeds)) == 3
+        assert [run.tag("rep") for run in sweep_a.runs] == [0, 1, 2]
+
+    def test_sweep_json_round_trip(self):
+        sweep = SweepSpec.grid(
+            "rt", small_scenario(), schemes=("CPVF",), repetitions=2
+        )
+        restored = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert restored == sweep
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_pure_and_distinct(self):
+        assert derive_seed(1, 0) == derive_seed(1, 0)
+        assert derive_seed(1, 0) != derive_seed(1, 1)
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+        assert derive_seed(1, 0, "obstacles") != derive_seed(1, 0)
+
+    def test_spawn_seeds(self):
+        seeds = spawn_seeds(7, 100)
+        assert len(seeds) == 100
+        assert len(set(seeds)) == 100
+        assert all(0 <= s < 2**31 for s in seeds)

@@ -1,0 +1,55 @@
+"""End-to-end CLI smoke test: sharded run with JSON artifact persistence."""
+
+import json
+
+from repro.api import RunRecord
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerCLI:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == sorted(EXPERIMENTS)
+
+    def test_end_to_end_sharded_run_writes_loadable_artifacts(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "--scale",
+                "smoke",
+                "--only",
+                "fig3",
+                "--jobs",
+                "2",
+                "--trace-every",
+                "20",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "coverage over time" in out  # --trace-every renders the series
+
+        artifact = tmp_path / "fig3.json"
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["experiment"] == "fig3"
+        assert payload["jobs"] == 2
+        assert payload["trace_every"] == 20
+        assert "Figure 3" in payload["report"]
+
+        records = [RunRecord.from_dict(r) for r in payload["records"]]
+        assert [r.tag("scenario") for r in records] == ["a", "b", "c"]
+        for record in records:
+            assert 0.0 <= record.coverage <= 1.0
+            assert record.trace, "traced records should persist their series"
+
+    def test_unknown_experiment_is_an_argparse_error(self, capsys):
+        try:
+            main(["--only", "fig99"])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:  # pragma: no cover - argparse always exits
+            raise AssertionError("expected SystemExit")
