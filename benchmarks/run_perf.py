@@ -47,6 +47,12 @@ def main() -> None:
             f"serial={row['seed_ms']:.0f} ms jobs={row['jobs']}"
             f"={row['fast_ms']:.0f} ms ({row['speedup']:.1f}x)"
         )
+    for row in results["scenario_generation"]:
+        print(
+            f"scenario_generation {row['layout']} @ {row['size']:.0f} m: "
+            f"{row['gen_ms']:.1f} ms/scenario "
+            f"({row['scenarios_per_s']:.0f}/s)"
+        )
 
 
 if __name__ == "__main__":

@@ -77,6 +77,12 @@ from .api import (
     register_placement,
     register_scheme,
 )
+from .scenarios import (
+    DEFAULT_SUITE,
+    ScenarioSuite,
+    ScenarioValidator,
+    scenario_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -136,5 +142,9 @@ __all__ = [
     "register_scheme",
     "register_layout",
     "register_placement",
+    "DEFAULT_SUITE",
+    "ScenarioSuite",
+    "ScenarioValidator",
+    "scenario_fingerprint",
     "__version__",
 ]

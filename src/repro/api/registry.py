@@ -195,6 +195,8 @@ def _register_builtin_layouts() -> None:
         """A Fig 13 random-obstacle field, fully determined by ``seed``."""
         import random as _random
 
+        from ..scenarios.validate import ScenarioValidator
+
         config = RandomObstacleConfig(
             field_size=size,
             min_obstacles=min_obstacles,
@@ -210,7 +212,15 @@ def _register_builtin_layouts() -> None:
                 else max(10.0, size / 40.0)
             ),
         )
-        return generate_random_obstacle_field(_random.Random(seed), config)
+        # The shared scenario validator subsumes the historical inline
+        # check (free-space connectivity at the configured resolution) and
+        # additionally requires base-station reachability.
+        validator = ScenarioValidator(
+            min_free_fraction=0.0, resolution=config.connectivity_resolution
+        )
+        return generate_random_obstacle_field(
+            _random.Random(seed), config, validator=validator.accepts
+        )
 
 
 # ----------------------------------------------------------------------
@@ -239,5 +249,19 @@ def _register_builtin_placements() -> None:
         return uniform_initial_positions(config.sensor_count, rng, field)
 
 
+def _register_scenario_library() -> None:
+    """Load the procedural scenario subsystem so its entries self-register.
+
+    Importing :mod:`repro.scenarios` runs the ``@register_layout`` /
+    ``@register_placement`` decorators of its generator and placement
+    modules.  Doing it here — rather than relying on callers importing the
+    package — guarantees the names resolve wherever this registry module
+    is loaded, including sweep worker processes that only ever import
+    :func:`repro.api.schemes.execute_run`.
+    """
+    from .. import scenarios  # noqa: F401
+
+
 _register_builtin_layouts()
 _register_builtin_placements()
+_register_scenario_library()

@@ -292,6 +292,21 @@ class FloorScheme(DeploymentScheme):
                 neighbors,
                 lambda s=sensor: self._plan_connect_trajectory(world, s),
             )
+            self._exit_obstacle(world, sensor)
+
+    @staticmethod
+    def _exit_obstacle(world: World, sensor: Sensor) -> None:
+        """Obstacle-exit correction after one transit step.
+
+        A BUG2 polyline keeps only ~0.5 m of clearance when rounding
+        obstacle corners, so the arc-length interpolation between two
+        pushed-out waypoints can dip into an obstacle's interior.  A sensor
+        must never be observed (or end a run) inside an obstacle, so every
+        transit step — connection walks and relocations alike — exits back
+        into free space.
+        """
+        if not world.field.is_free(sensor.position):
+            sensor.position = world.field.nearest_free(sensor.position)
 
     # -- Phase 2: identifying movable sensors ---------------------------
     def _phase2_should_start(self, world: World) -> bool:
@@ -414,6 +429,7 @@ class FloorScheme(DeploymentScheme):
         for sensor_id, ep in self._relocations.items():
             sensor = world.sensor(sensor_id)
             sensor.motion.advance_along_path()
+            self._exit_obstacle(world, sensor)
             if not sensor.motion.has_path or sensor.position.distance_to(
                 ep.position
             ) <= 1e-6:
@@ -421,9 +437,12 @@ class FloorScheme(DeploymentScheme):
         for sensor_id in arrived:
             ep = self._relocations.pop(sensor_id)
             sensor = world.sensor(sensor_id)
-            sensor.position = ep.position
+            # Obstacle-exit correction on arrival: the expansion point was
+            # checked to be free when discovered, but nearest_free guards
+            # against a stale EP (e.g. clamped onto an obstacle boundary).
+            sensor.position = world.field.nearest_free(ep.position)
             sensor.state = SensorState.FIXED
-            self._registry.promote_virtual(sensor_id, ep.position)
+            self._registry.promote_virtual(sensor_id, sensor.position)
             # Re-attach to the tree under the inviter (or the base station
             # when the inviter was a virtual node that has no tree presence).
             parent = ep.owner_id if ep.owner_id in world.tree else BASE_STATION_ID

@@ -11,6 +11,14 @@ The registry below is the centralised bookkeeping equivalent: it stores the
 fixed (and virtual, i.e. place-holding) node positions per floor, answers
 point-coverage queries, and reports which floor a node belongs to so the
 scheme can account the query / response message costs on the tree.
+
+The coverage and same-floor-neighbour queries are the hot loop of FLOOR's
+phase-3 expansion search (every active searcher probes several candidate
+points per period, each probe scanning the records of every floor in
+range), so by default they are served from a :class:`~repro.spatial.index.
+SpatialIndex` rebuilt lazily whenever the records change.  The exhaustive
+scan remains available behind ``use_spatial_index=False`` and is pinned
+against the indexed path by randomized parity tests.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Vec2
+from ..spatial import SpatialIndex
 from .floors import FloorGeometry
 
 __all__ = ["FloorRegistry", "FloorRecord"]
@@ -39,6 +48,17 @@ class FloorRegistry:
 
     floors: FloorGeometry
     _records: Dict[int, Dict[int, FloorRecord]] = field(default_factory=dict)
+    #: Serve spatial queries from a lazily rebuilt :class:`SpatialIndex`;
+    #: ``False`` restores the exhaustive per-floor scan (parity-tested).
+    use_spatial_index: bool = True
+    _index: Optional[SpatialIndex] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: ``(floor_index, record)`` in index order, parallel to the index store.
+    _index_records: List[Tuple[int, FloorRecord]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+    _index_dirty: bool = field(default=True, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Registration
@@ -56,12 +76,14 @@ class FloorRegistry:
         self._records.setdefault(floor_index, {})[node_id] = FloorRecord(
             node_id=node_id, position=position, virtual=virtual
         )
+        self._index_dirty = True
         return floor_index
 
     def unregister(self, node_id: int) -> None:
         """Remove a node from whatever floor it was registered on."""
         for floor_records in self._records.values():
-            floor_records.pop(node_id, None)
+            if floor_records.pop(node_id, None) is not None:
+                self._index_dirty = True
 
     def promote_virtual(self, node_id: int, position: Vec2) -> None:
         """Replace a virtual place-holder by the real arrived sensor."""
@@ -99,6 +121,27 @@ class FloorRegistry:
             return None
         return min(records, key=lambda r: (r.position.x, r.node_id))
 
+    def _ensure_index(self) -> SpatialIndex:
+        """The spatial index over all records, rebuilt when records changed.
+
+        The store is laid out floor by floor in registration order, so
+        ascending index order restricted to one floor equals that floor's
+        dict iteration order — the indexed queries therefore return records
+        in exactly the order the exhaustive scan visits them.
+        """
+        if self._index is not None and not self._index_dirty:
+            return self._index
+        self._index_records = [
+            (floor_index, record)
+            for floor_index, floor_records in self._records.items()
+            for record in floor_records.values()
+        ]
+        index = SpatialIndex(cell_size=max(self.floors.floor_height, 1e-9))
+        index.build([(r.position.x, r.position.y) for _, r in self._index_records])
+        self._index = index
+        self._index_dirty = False
+        return index
+
     def is_point_covered(
         self,
         point: Vec2,
@@ -114,6 +157,15 @@ class FloorRegistry:
         """
         excluded = set(exclude)
         floors_to_ask = self.floors.floors_possibly_covering(point, sensing_range)
+        if self.use_spatial_index:
+            index = self._ensure_index()
+            askable = set(floors_to_ask)
+            for i in index.query_radius(point, sensing_range + 1e-9):
+                floor_index, record = self._index_records[i]
+                if record.node_id in excluded or floor_index not in askable:
+                    continue
+                return True, floors_to_ask
+            return False, floors_to_ask
         for floor_index in floors_to_ask:
             for record in self.records_on_floor(floor_index):
                 if record.node_id in excluded:
@@ -133,6 +185,14 @@ class FloorRegistry:
         me = records.get(node_id)
         if me is None:
             return []
+        if self.use_spatial_index:
+            index = self._ensure_index()
+            result: List[FloorRecord] = []
+            for i in index.query_radius(me.position, radius + 1e-9):
+                hit_floor, record = self._index_records[i]
+                if hit_floor == floor_index and record.node_id != node_id:
+                    result.append(record)
+            return result
         return [
             r
             for r in records.values()

@@ -35,6 +35,7 @@ __all__ = [
     "measure_cpvf_period",
     "measure_coverage",
     "measure_sweep_throughput",
+    "measure_scenario_generation",
     "run_perf_suite",
 ]
 
@@ -290,12 +291,54 @@ def measure_sweep_throughput(
 
 
 # ----------------------------------------------------------------------
+# Scenario generation (procedural layouts + validation)
+# ----------------------------------------------------------------------
+def measure_scenario_generation(
+    size: float = 1000.0, seeds: Sequence[int] = (1, 2, 3, 4, 5)
+) -> List[Dict[str, object]]:
+    """Generation + validation throughput of every procedural layout.
+
+    Each sample generates a fresh field from a fresh seed (generation is
+    seed-deterministic, so re-timing one seed would only measure the
+    field's obstacle-mask cache) and runs under the shared
+    :class:`~repro.scenarios.validate.ScenarioValidator` — the number
+    reported is the cost a sweep pays per scenario materialisation.
+    """
+    from ..api import layout_registry
+    from ..scenarios import ScenarioValidator
+
+    validator = ScenarioValidator()
+    rows: List[Dict[str, object]] = []
+    for layout in ("maze", "rooms", "spiral", "clutter", "random-obstacles"):
+        builder = layout_registry.get(layout)
+
+        def generate_all() -> None:
+            for seed in seeds:
+                field = builder(size, seed=seed)
+                if not validator.validate_field(field).ok:
+                    raise AssertionError(
+                        f"{layout} produced an invalid field for seed {seed}"
+                    )
+
+        per_call = _best_of(generate_all, repeats=1, rounds=3) / len(seeds)
+        rows.append(
+            {
+                "layout": layout,
+                "size": size,
+                "gen_ms": per_call * 1000.0,
+                "scenarios_per_s": 1.0 / per_call if per_call > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Full suite
 # ----------------------------------------------------------------------
 def run_perf_suite(
     ns: Sequence[int] = (100, 500, 1000), seed: int = 3
 ) -> Dict[str, object]:
-    """All three benchmarks over the requested population sizes."""
+    """All benchmarks over the requested population sizes."""
     return {
         "description": (
             "Spatial-index subsystem benchmarks: seed algorithms vs fast "
@@ -310,4 +353,5 @@ def run_perf_suite(
         "cpvf_period": [measure_cpvf_period(n, seed=seed) for n in ns],
         "coverage": [measure_coverage(n, seed=seed) for n in ns],
         "sweep_throughput": [measure_sweep_throughput(seed=seed)],
+        "scenario_generation": measure_scenario_generation(),
     }

@@ -25,7 +25,33 @@ import numpy as np
 from ..geometry import Circle, CoverageGrid, Polygon, Segment, Vec2
 from .obstacles import Obstacle
 
-__all__ = ["Field"]
+__all__ = ["Field", "flood_fill_count"]
+
+
+def flood_fill_count(free: np.ndarray, start: Tuple[int, int]) -> int:
+    """Number of cells 4-connected to ``start`` in a 2-D boolean mask.
+
+    Returns 0 when the start cell itself is not free.  The single
+    flood-fill implementation shared by :meth:`Field.free_space_connected`
+    and the scenario validator, so the two acceptance paths can never
+    diverge on connectivity semantics.
+    """
+    nx, ny = free.shape
+    if not free[start]:
+        return 0
+    visited = np.zeros_like(free, dtype=bool)
+    visited[start] = True
+    stack = [start]
+    count = 0
+    while stack:
+        cx, cy = stack.pop()
+        count += 1
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            mx, my = cx + dx, cy + dy
+            if 0 <= mx < nx and 0 <= my < ny and free[mx, my] and not visited[mx, my]:
+                visited[mx, my] = True
+                stack.append((mx, my))
+    return count
 
 
 @dataclass
@@ -226,11 +252,42 @@ class Field:
             return cached
         grid = CoverageGrid(0.0, 0.0, self.width, self.height, resolution)
         if self.obstacles:
-            obstacle_mask = grid.mask_from_predicate(self.in_obstacle)
+            obstacle_mask = self._rasterize_obstacles(grid)
         else:
             obstacle_mask = np.zeros(grid.num_points, dtype=bool)
         self._grid_cache[resolution] = (grid, obstacle_mask)
         return grid, obstacle_mask
+
+    def _rasterize_obstacles(self, grid: CoverageGrid) -> np.ndarray:
+        """Obstacle mask over the grid points.
+
+        Axis-aligned rectangles (every canonical layout and generator) are
+        rasterised vectorised: a grid point is interior exactly when it
+        clears all four edges by more than the polygon's boundary epsilon,
+        the same classification ``Obstacle.contains`` makes point by
+        point.  Irregular polygons fall back to the predicate scan.
+        """
+        px, py = grid.point_arrays()
+        mask = np.zeros(grid.num_points, dtype=bool)
+        irregular: List[Obstacle] = []
+        eps = 1e-7  # Polygon.on_boundary: the boundary is not interior
+        for ob in self.obstacles:
+            box = ob.axis_aligned_box()
+            if box is None:
+                irregular.append(ob)
+                continue
+            xmin, ymin, xmax, ymax = box
+            mask |= (
+                (px - xmin > eps)
+                & (xmax - px > eps)
+                & (py - ymin > eps)
+                & (ymax - py > eps)
+            )
+        if irregular:
+            mask |= grid.mask_from_predicate(
+                lambda p: any(ob.contains(p) for ob in irregular)
+            )
+        return mask
 
     def coverage_fraction(
         self,
@@ -261,21 +318,8 @@ class Field:
         total_free = int(free.sum())
         if total_free == 0:
             return False
-        # BFS flood fill from the first free cell.
         start = tuple(np.argwhere(free)[0])
-        visited = np.zeros_like(free, dtype=bool)
-        stack = [start]
-        visited[start] = True
-        count = 0
-        while stack:
-            cx, cy = stack.pop()
-            count += 1
-            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                mx, my = cx + dx, cy + dy
-                if 0 <= mx < nx and 0 <= my < ny and free[mx, my] and not visited[mx, my]:
-                    visited[mx, my] = True
-                    stack.append((mx, my))
-        return count == total_free
+        return flood_fill_count(free, start) == total_free
 
     # ------------------------------------------------------------------
     # Misc

@@ -12,7 +12,7 @@ retries until a valid layout is found.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..geometry import Vec2
 from .field import Field
@@ -56,15 +56,26 @@ def _clears_base_station(obstacle: Obstacle, config: RandomObstacleConfig) -> bo
 
 
 def generate_random_obstacle_field(
-    rng, config: Optional[RandomObstacleConfig] = None
+    rng,
+    config: Optional[RandomObstacleConfig] = None,
+    validator: Optional[Callable[[Field], bool]] = None,
 ) -> Field:
     """Generate a random-obstacle field whose free space remains connected.
+
+    ``validator`` is the acceptance predicate of the rejection loop; the
+    default keeps the historical Fig 13 condition (free space forms one
+    connected region at ``config.connectivity_resolution``).  The scenario
+    subsystem passes :meth:`repro.scenarios.ScenarioValidator.accepts` here
+    to additionally require base-station reachability and a minimum free
+    area.
 
     Raises :class:`RuntimeError` if no valid layout is found within
     ``config.max_attempts`` attempts (which practically never happens with
     the default parameters).
     """
     cfg = config or RandomObstacleConfig()
+    if validator is None:
+        validator = lambda f: f.free_space_connected(cfg.connectivity_resolution)
     for _ in range(cfg.max_attempts):
         count = rng.randint(cfg.min_obstacles, cfg.max_obstacles)
         obstacles: List[Obstacle] = []
@@ -81,6 +92,6 @@ def generate_random_obstacle_field(
         if not ok:
             continue
         candidate_field = Field(cfg.field_size, cfg.field_size, obstacles)
-        if candidate_field.free_space_connected(cfg.connectivity_resolution):
+        if validator(candidate_field):
             return candidate_field
     raise RuntimeError("failed to generate a connected random-obstacle field")

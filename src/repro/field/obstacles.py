@@ -69,6 +69,27 @@ class Obstacle:
         """Axis-aligned bounding box of the obstacle."""
         return self.polygon.bounding_box()
 
+    def axis_aligned_box(self) -> Optional[Tuple[float, float, float, float]]:
+        """``(xmin, ymin, xmax, ymax)`` when the obstacle *is* an
+        axis-aligned rectangle, else ``None``.
+
+        Rectangles are what every generator and canonical layout emits;
+        recognising them lets the field rasterise the obstacle mask with
+        four vectorised comparisons instead of a per-point polygon test.
+        """
+        vertices = self.polygon.vertices
+        if len(vertices) != 4:
+            return None
+        xs = sorted({v.x for v in vertices})
+        ys = sorted({v.y for v in vertices})
+        if len(xs) != 2 or len(ys) != 2:
+            return None
+        corners = {(v.x, v.y) for v in vertices}
+        expected = {(x, y) for x in xs for y in ys}
+        if corners != expected:
+            return None
+        return (xs[0], ys[0], xs[1], ys[1])
+
     def distance_to(self, p: Vec2) -> float:
         """Distance from ``p`` to the obstacle (zero when inside)."""
         return self.polygon.distance_to_point(p)

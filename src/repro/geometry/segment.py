@@ -85,6 +85,14 @@ class Segment:
 
     def closest_point(self, p: Vec2) -> Vec2:
         """The point of the closed segment closest to ``p``."""
+        if (self.b - self.a).norm_sq() <= EPS:
+            # Near-degenerate segment: the projection parameter is
+            # meaningless (project_parameter returns 0), but the endpoints
+            # can still be metres apart relative to the query tolerance —
+            # return whichever is actually closer.
+            if p.distance_to(self.a) <= p.distance_to(self.b):
+                return self.a
+            return self.b
         t = min(1.0, max(0.0, self.project_parameter(p)))
         return self.point_at(t)
 

@@ -1,0 +1,63 @@
+"""Procedural scenario generation: layouts, placements, validation, suite.
+
+This package turns the declarative registry of :mod:`repro.api` into an
+actual scenario library:
+
+* :mod:`repro.scenarios.generators` — seeded field-layout generators
+  (``maze``, ``rooms``, ``spiral``, ``clutter``), all registered via
+  ``@register_layout``;
+* :mod:`repro.scenarios.placements` — initial-placement strategies
+  (``hotspot``, ``perimeter``, ``grid``, ``multi-cluster``), registered
+  via ``@register_placement``;
+* :mod:`repro.scenarios.validate` — the shared
+  :class:`ScenarioValidator` (free-space connectivity, base-station
+  reachability, minimum free area) with bounded-retry generation and the
+  determinism fingerprint;
+* :mod:`repro.scenarios.suite` — the curated :data:`DEFAULT_SUITE` of
+  named scenarios driving the ``gallery`` experiment and the
+  ``python -m repro.scenarios`` CLI (``--list`` / ``--check`` /
+  ``--render``).
+
+Importing this package registers every generator and placement;
+:mod:`repro.api.registry` does so automatically, so scenario names are
+resolvable wherever the registries are — including sweep worker
+processes.
+
+Layering note: modules here import :mod:`repro.api` *submodules*
+directly (``..api.registry``, ``..api.scenario``) rather than the
+package, because they are (re)loaded while ``repro.api`` itself is still
+initialising.
+"""
+
+from .validate import (
+    ScenarioValidator,
+    ValidationReport,
+    generate_validated,
+    scenario_fingerprint,
+)
+from .generators import clutter_field, maze_field, rooms_field, spiral_field
+from .placements import (
+    grid_positions,
+    hotspot_positions,
+    multi_cluster_positions,
+    perimeter_positions,
+)
+from .suite import DEFAULT_SUITE, ScenarioSuite, SuiteEntry
+
+__all__ = [
+    "ScenarioValidator",
+    "ValidationReport",
+    "generate_validated",
+    "scenario_fingerprint",
+    "maze_field",
+    "rooms_field",
+    "spiral_field",
+    "clutter_field",
+    "hotspot_positions",
+    "perimeter_positions",
+    "grid_positions",
+    "multi_cluster_positions",
+    "SuiteEntry",
+    "ScenarioSuite",
+    "DEFAULT_SUITE",
+]

@@ -1,0 +1,164 @@
+"""Command-line face of the scenario subsystem.
+
+::
+
+    python -m repro.scenarios --list
+    python -m repro.scenarios --check [--scale smoke|bench|full]
+    python -m repro.scenarios --render maze-quad [--format ascii|json]
+
+``--list`` prints the registered layouts and placements plus the curated
+suite; ``--check`` generates and validates every suite scenario (the CI
+smoke step — exit status 1 when any scenario fails validation);
+``--render`` draws one scenario as an ASCII field map or dumps it as
+JSON (obstacles, initial positions, fingerprint).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ..api.registry import layout_registry, placement_registry
+from .suite import DEFAULT_SUITE
+from .validate import ScenarioValidator, scenario_fingerprint
+
+__all__ = ["main"]
+
+
+def _scales():
+    """Name -> ExperimentScale map (imported lazily; see module layering)."""
+    from ..experiments.common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE
+
+    return {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "full": FULL_SCALE}
+
+
+def _list_report() -> str:
+    lines: List[str] = ["registered field layouts:"]
+    lines.extend(f"  {name}" for name in layout_registry.names())
+    lines.append("registered placements:")
+    lines.extend(f"  {name}" for name in placement_registry.names())
+    lines.append("curated suite:")
+    for entry in DEFAULT_SUITE:
+        lines.append(
+            f"  {entry.name:<22s} {entry.layout} + {entry.placement}: "
+            f"{entry.description}"
+        )
+    return "\n".join(lines)
+
+
+def _check_report(scale) -> tuple:
+    """Validate every suite scenario; returns ``(report_text, all_ok)``."""
+    validator = ScenarioValidator()
+    lines: List[str] = [
+        f"validating {len(DEFAULT_SUITE)} suite scenarios at "
+        f"{scale.field_size:g} m / {scale.sensor_count} sensors"
+    ]
+    all_ok = True
+    for entry, spec in DEFAULT_SUITE.specs(scale):
+        report = validator.validate_scenario(spec)
+        if report.ok:
+            lines.append(
+                f"  PASS {entry.name:<22s} free={report.free_area_fraction:5.1%}"
+            )
+        else:
+            all_ok = False
+            lines.append(f"  FAIL {entry.name:<22s} {'; '.join(report.issues())}")
+    lines.append("all scenarios valid" if all_ok else "validation FAILED")
+    return "\n".join(lines), all_ok
+
+
+def _render(name: str, scale, fmt: str, width: int) -> str:
+    entry = DEFAULT_SUITE.get(name)
+    spec = entry.spec(scale)
+    field = spec.build_field()
+    positions = spec.initial_positions(field)
+    if fmt == "json":
+        return json.dumps(
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "spec": spec.to_dict(),
+                "fingerprint": scenario_fingerprint(spec, field, positions),
+                "obstacles": [
+                    [[v.x, v.y] for v in ob.polygon.vertices]
+                    for ob in field.obstacles
+                ],
+                "positions": [[p.x, p.y] for p in positions],
+            },
+            indent=2,
+        )
+    from ..geometry import Vec2
+    from ..viz import render_layout
+
+    header = (
+        f"{entry.name}: {entry.description}\n"
+        f"layout={entry.layout} placement={entry.placement} "
+        f"n={spec.sensor_count} field={spec.field_size:g} m"
+    )
+    art = render_layout(
+        field,
+        positions,
+        sensing_range=spec.sensing_range,
+        width=width,
+        base_station=Vec2(0.0, 0.0),
+    )
+    return f"{header}\n{art}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios", description=__doc__
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list layouts, placements and the suite"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="generate + validate every suite scenario (exit 1 on failure)",
+    )
+    parser.add_argument(
+        "--render", metavar="NAME", default=None, help="render one suite scenario"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("ascii", "json"),
+        default="ascii",
+        help="render format (default: ascii)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "bench", "full"),
+        default="smoke",
+        help="experiment scale for --check/--render (default: smoke)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=60, help="ASCII render width in characters"
+    )
+    args = parser.parse_args(argv)
+
+    if not (args.list or args.check or args.render):
+        parser.print_help()
+        return 2
+
+    if args.list:
+        print(_list_report())
+    if args.check:
+        report, ok = _check_report(_scales()[args.scale])
+        print(report)
+        if not ok:
+            return 1
+    if args.render:
+        try:
+            print(_render(args.render, _scales()[args.scale], args.format, args.width))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

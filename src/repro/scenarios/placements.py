@@ -1,0 +1,214 @@
+"""Initial-placement strategies beyond the paper's two canonical starts.
+
+The paper evaluates a clustered start (lower-left quadrant) and implies a
+uniform one; this module adds four registered strategies that stress the
+schemes differently:
+
+* ``hotspot`` — Gaussian concentration around a point (a crowd, an event),
+  rejected into free space;
+* ``perimeter`` — sensors spread along the field boundary (dropped from
+  the edges inward);
+* ``grid`` — a near-square jittered lattice (a planned pre-deployment);
+* ``multi-cluster`` — several Gaussian clusters with seeded random
+  centres (multiple drop points).
+
+Every strategy follows the registry contract
+``(config, field, rng, **params) -> List[Vec2]``: it consumes only the
+provided :class:`random.Random` stream (determinism under a fixed seed is
+pinned by the property tests), returns exactly ``config.sensor_count``
+positions, and guarantees every position lies in free space — drawing by
+rejection first and falling back to :meth:`~repro.field.Field.
+nearest_free` when a draw keeps landing inside an obstacle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..api.registry import register_placement
+from ..field import Field
+from ..geometry import Vec2
+
+__all__ = [
+    "hotspot_positions",
+    "perimeter_positions",
+    "grid_positions",
+    "multi_cluster_positions",
+]
+
+#: Rejection draws attempted per sensor before falling back to
+#: ``Field.nearest_free`` (heavily obstructed fields remain placeable).
+_REJECTION_ATTEMPTS = 64
+
+
+def _into_free_space(field: Field, p: Vec2) -> Vec2:
+    """Project a draw into free space (clamp + spiral search fallback)."""
+    candidate = field.nearest_free(p)
+    if not field.is_free(candidate):
+        raise RuntimeError(
+            f"could not find free space near {p} (field fully obstructed?)"
+        )
+    return candidate
+
+
+def _rejected_draw(field: Field, draw) -> Vec2:
+    """Redraw until free; after the attempt budget, snap the last draw."""
+    p = None
+    for _ in range(_REJECTION_ATTEMPTS):
+        p = draw()
+        if field.is_free(p):
+            return p
+    return _into_free_space(field, p)
+
+
+@register_placement("hotspot")
+def hotspot_positions(
+    config,
+    field: Field,
+    rng,
+    center_x: Optional[float] = None,
+    center_y: Optional[float] = None,
+    spread: float = 0.15,
+) -> List[Vec2]:
+    """Gaussian hotspot around a point (the field centre by default).
+
+    ``spread`` is the standard deviation as a fraction of the field's
+    shorter side.  Draws landing outside the free space are re-drawn.
+    """
+    cx = field.width / 2.0 if center_x is None else center_x
+    cy = field.height / 2.0 if center_y is None else center_y
+    sigma = spread * min(field.width, field.height)
+
+    def draw() -> Vec2:
+        return field.clamp(Vec2(rng.gauss(cx, sigma), rng.gauss(cy, sigma)))
+
+    return [
+        _rejected_draw(field, draw) for _ in range(config.sensor_count)
+    ]
+
+
+@register_placement("perimeter")
+def perimeter_positions(
+    config,
+    field: Field,
+    rng,
+    margin: float = 0.04,
+    jitter: float = 0.02,
+) -> List[Vec2]:
+    """Sensors evenly spaced along the field boundary, jittered inward.
+
+    The sensors sit on the rectangle inset by ``margin`` of the shorter
+    side, in perimeter order starting from the base-station corner, each
+    perturbed by a uniform jitter of ``jitter`` of the shorter side.
+    """
+    short = min(field.width, field.height)
+    inset = margin * short
+    w = field.width - 2.0 * inset
+    h = field.height - 2.0 * inset
+    total = 2.0 * (w + h)
+    amplitude = jitter * short
+
+    def on_perimeter(arc: float) -> Vec2:
+        if arc < w:
+            return Vec2(inset + arc, inset)
+        arc -= w
+        if arc < h:
+            return Vec2(inset + w, inset + arc)
+        arc -= h
+        if arc < w:
+            return Vec2(inset + w - arc, inset + h)
+        return Vec2(inset, inset + h - (arc - w))
+
+    positions: List[Vec2] = []
+    count = config.sensor_count
+    for k in range(count):
+        base = on_perimeter(total * k / count)
+
+        def draw(base=base) -> Vec2:
+            return field.clamp(
+                base
+                + Vec2(
+                    rng.uniform(-amplitude, amplitude),
+                    rng.uniform(-amplitude, amplitude),
+                )
+            )
+
+        positions.append(_rejected_draw(field, draw))
+    return positions
+
+
+@register_placement("grid")
+def grid_positions(
+    config,
+    field: Field,
+    rng,
+    jitter: float = 0.05,
+) -> List[Vec2]:
+    """A near-square lattice over the field, row-major from the origin.
+
+    ``jitter`` perturbs each lattice point by that fraction of the cell
+    spacing (a perfectly regular start is both unrealistic and degenerate
+    for Voronoi baselines).  Lattice points inside obstacles are projected
+    to the nearest free point.
+    """
+    count = config.sensor_count
+    cols = max(1, int(math.ceil(math.sqrt(count * field.width / field.height))))
+    rows = max(1, int(math.ceil(count / cols)))
+    dx = field.width / cols
+    dy = field.height / rows
+    positions: List[Vec2] = []
+    for k in range(count):
+        i, j = k % cols, k // cols
+        base = Vec2((i + 0.5) * dx, (j + 0.5) * dy)
+
+        def draw(base=base) -> Vec2:
+            return field.clamp(
+                base
+                + Vec2(
+                    rng.uniform(-jitter * dx, jitter * dx),
+                    rng.uniform(-jitter * dy, jitter * dy),
+                )
+            )
+
+        positions.append(_rejected_draw(field, draw))
+    return positions
+
+
+@register_placement("multi-cluster")
+def multi_cluster_positions(
+    config,
+    field: Field,
+    rng,
+    clusters: int = 3,
+    spread: float = 0.08,
+) -> List[Vec2]:
+    """Several Gaussian clusters with seeded uniform-random free centres.
+
+    Sensors are assigned to clusters round-robin, so cluster sizes differ
+    by at most one.  ``spread`` is each cluster's standard deviation as a
+    fraction of the field's shorter side.
+    """
+    if clusters < 1:
+        raise ValueError("clusters must be positive")
+    sigma = spread * min(field.width, field.height)
+
+    def draw_center() -> Vec2:
+        return Vec2(
+            rng.uniform(0.0, field.width), rng.uniform(0.0, field.height)
+        )
+
+    centers = [
+        _rejected_draw(field, draw_center) for _ in range(clusters)
+    ]
+    positions: List[Vec2] = []
+    for k in range(config.sensor_count):
+        center = centers[k % clusters]
+
+        def draw(center=center) -> Vec2:
+            return field.clamp(
+                Vec2(rng.gauss(center.x, sigma), rng.gauss(center.y, sigma))
+            )
+
+        positions.append(_rejected_draw(field, draw))
+    return positions

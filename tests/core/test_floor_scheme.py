@@ -134,3 +134,43 @@ class TestFloorBeatsCPVFWhenItShould:
         cpvf_result = SimulationEngine(world_cpvf, CPVFScheme()).run()
 
         assert floor_result.final_coverage >= cpvf_result.final_coverage
+
+
+class TestObstacleExitCorrection:
+    """Regression: a sensor in BUG2 transit must never end a run inside an
+    obstacle (ROADMAP repro: two-obstacle field at 400 m, n=60, rc=60,
+    rs=40, seed=17, 120 s — sensors 44/54 used to finish in the interior
+    of the "right" obstacle while RELOCATING)."""
+
+    def test_relocating_sensors_exit_obstacles(self):
+        from repro.field import two_obstacle_field
+        from repro.sim import SimulationConfig, World
+
+        config = SimulationConfig(
+            sensor_count=60,
+            communication_range=60.0,
+            sensing_range=40.0,
+            duration=120.0,
+            seed=17,
+        )
+        world = World.create(config, two_obstacle_field(400.0))
+        SimulationEngine(world, FloorScheme(), keep_world=True).run()
+        stuck = [
+            s.sensor_id for s in world.sensors if not world.field.is_free(s.position)
+        ]
+        assert stuck == []
+
+    def test_connection_transit_exits_obstacles(self):
+        """Phase-1 connection walks cut maze-wall corners the same way
+        (found by the bench-scale maze-hotspot invariant sweep: sensors
+        20/33 used to finish MOVING_TO_CONNECT inside a wall)."""
+        from repro.experiments.common import BENCH_SCALE
+        from repro.scenarios import DEFAULT_SUITE
+
+        spec = DEFAULT_SUITE.get("maze-hotspot").spec(BENCH_SCALE)
+        world = spec.build_world()
+        SimulationEngine(world, FloorScheme(), keep_world=True).run()
+        stuck = [
+            s.sensor_id for s in world.sensors if not world.field.is_free(s.position)
+        ]
+        assert stuck == []

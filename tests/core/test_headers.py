@@ -109,3 +109,56 @@ class TestNeighborsAndSummary:
 
     def test_compact_summary_empty_floor(self):
         assert make_registry().compact_summary(4) == []
+
+
+class TestSpatialIndexParity:
+    """The indexed registry queries must agree with the exhaustive scan."""
+
+    def _random_registries(self, rng, rs=40.0, size=1000.0, n=80):
+        indexed = make_registry(rs=rs, size=size)
+        brute = make_registry(rs=rs, size=size)
+        brute.use_spatial_index = False
+        for node_id in range(n):
+            pos = Vec2(rng.uniform(0, size), rng.uniform(0, size))
+            virtual = rng.random() < 0.2
+            indexed.register(node_id, pos, virtual=virtual)
+            brute.register(node_id, pos, virtual=virtual)
+        # Churn: unregister some, re-register others elsewhere, promote one.
+        for node_id in rng.sample(range(n), n // 5):
+            indexed.unregister(node_id)
+            brute.unregister(node_id)
+        for node_id in rng.sample(range(n), n // 5):
+            pos = Vec2(rng.uniform(0, size), rng.uniform(0, size))
+            indexed.register(node_id, pos)
+            brute.register(node_id, pos)
+        promoted = Vec2(rng.uniform(0, size), rng.uniform(0, size))
+        indexed.promote_virtual(0, promoted)
+        brute.promote_virtual(0, promoted)
+        return indexed, brute
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_is_point_covered_parity(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        indexed, brute = self._random_registries(rng)
+        for _ in range(200):
+            point = Vec2(rng.uniform(-50, 1050), rng.uniform(-50, 1050))
+            sensing_range = rng.uniform(5.0, 120.0)
+            exclude = rng.sample(range(80), rng.randint(0, 4))
+            assert indexed.is_point_covered(
+                point, sensing_range, exclude=exclude
+            ) == brute.is_point_covered(point, sensing_range, exclude=exclude)
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_neighbors_on_floor_parity(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        indexed, brute = self._random_registries(rng)
+        for node_id in range(80):
+            radius = rng.uniform(10.0, 200.0)
+            fast = indexed.neighbors_on_floor(node_id, radius)
+            slow = brute.neighbors_on_floor(node_id, radius)
+            assert [r.node_id for r in fast] == [r.node_id for r in slow]
+            assert fast == slow

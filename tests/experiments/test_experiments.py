@@ -146,6 +146,7 @@ class TestRunner:
             "fig12",
             "fig13",
             "table1",
+            "gallery",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -1,0 +1,56 @@
+"""End-to-end tests for the gallery experiment over the curated suite."""
+
+from repro.api import SweepRunner
+from repro.experiments.common import ExperimentScale
+from repro.experiments.gallery import (
+    DEFAULT_GALLERY_SCHEMES,
+    format_gallery,
+    rows_gallery,
+    sweep_gallery,
+)
+from repro.scenarios import DEFAULT_SUITE
+
+#: Tiny scale so the full suite x scheme grid stays test-suite friendly.
+TINY_SCALE = ExperimentScale(
+    field_size=240.0,
+    sensor_count=16,
+    duration=40.0,
+    coverage_resolution=15.0,
+    repetitions=1,
+)
+
+
+class TestGallerySweep:
+    def test_sweep_covers_suite_times_schemes(self):
+        sweep = sweep_gallery(TINY_SCALE)
+        assert len(sweep.runs) == len(DEFAULT_SUITE) * len(DEFAULT_GALLERY_SCHEMES)
+        scenarios = {run.tag("scenario") for run in sweep.runs}
+        assert scenarios == set(DEFAULT_SUITE.names())
+
+    def test_subset_and_scheme_selection(self):
+        sweep = sweep_gallery(
+            TINY_SCALE, schemes=("FLOOR",), scenarios=["maze-quad", "rooms-grid"]
+        )
+        assert [run.tag("scenario") for run in sweep.runs] == [
+            "maze-quad",
+            "rooms-grid",
+        ]
+        assert {run.scheme for run in sweep.runs} == {"FLOOR"}
+
+    def test_sharded_run_matches_serial_over_curated_suite(self):
+        sweep = sweep_gallery(TINY_SCALE)
+        serial = SweepRunner(jobs=1).run(sweep)
+        sharded = SweepRunner(jobs=2).run(sweep)
+        assert serial == sharded
+
+        rows = rows_gallery(serial)
+        assert len(rows) == len(sweep.runs)
+        for row in rows:
+            assert 0.0 <= row.coverage <= 1.0
+            assert row.average_moving_distance >= 0.0
+
+        report = format_gallery(rows)
+        for name in DEFAULT_SUITE.names():
+            assert name in report
+        for scheme in DEFAULT_GALLERY_SCHEMES:
+            assert scheme in report

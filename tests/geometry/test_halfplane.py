@@ -55,9 +55,13 @@ class TestBisector:
             return
         hp = bisector_halfplane(site, other)
         closer_to_site = p.distance_to(site) <= p.distance_to(other) + 1e-6
+        # Points within ``eps`` of the bisector plane may classify either
+        # way; their distance difference can reach 2 * eps (for p on the
+        # inter-site axis, |d_site - d_other| = 2 * plane distance), so
+        # the escape clause must cover that full band.
         assert hp.contains(p, eps=1e-3) == closer_to_site or abs(
             p.distance_to(site) - p.distance_to(other)
-        ) < 1e-3
+        ) < 2.05e-3
 
 
 class TestClipping:

@@ -1,0 +1,98 @@
+"""Tests for the procedural field-layout generators."""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioValidator,
+    clutter_field,
+    maze_field,
+    rooms_field,
+    spiral_field,
+)
+
+SIZE = 320.0
+
+
+def obstacle_signature(field):
+    return tuple(
+        tuple((v.x, v.y) for v in ob.polygon.vertices) for ob in field.obstacles
+    )
+
+
+class TestMaze:
+    def test_maze_is_valid_and_walled(self):
+        field = maze_field(SIZE, seed=7, cells=4)
+        assert ScenarioValidator().validate_field(field).ok
+        # A perfect maze on n^2 cells keeps interior walls on
+        # 2n(n-1) - (n^2 - 1) boundaries.
+        assert len(field.obstacles) == 2 * 4 * 3 - (16 - 1)
+
+    def test_maze_is_seed_deterministic(self):
+        first = maze_field(SIZE, seed=7, cells=4)
+        second = maze_field(SIZE, seed=7, cells=4)
+        assert obstacle_signature(first) == obstacle_signature(second)
+
+    def test_different_seeds_differ(self):
+        first = maze_field(SIZE, seed=7, cells=5)
+        second = maze_field(SIZE, seed=8, cells=5)
+        assert obstacle_signature(first) != obstacle_signature(second)
+
+    def test_rejects_degenerate_order(self):
+        with pytest.raises(ValueError):
+            maze_field(SIZE, cells=1)
+
+
+class TestRooms:
+    def test_rooms_are_valid(self):
+        field = rooms_field(SIZE, seed=5, rooms_x=3, rooms_y=2)
+        assert ScenarioValidator().validate_field(field).ok
+        assert field.obstacles
+
+    def test_every_wall_has_a_doorway(self):
+        # With doorways on every shared wall, at most two rectangles per
+        # interior wall segment are emitted.
+        rooms_x, rooms_y = 3, 3
+        field = rooms_field(SIZE, seed=5, rooms_x=rooms_x, rooms_y=rooms_y)
+        interior_walls = (rooms_x - 1) * rooms_y + (rooms_y - 1) * rooms_x
+        assert len(field.obstacles) <= 2 * interior_walls
+
+    def test_seed_deterministic(self):
+        assert obstacle_signature(rooms_field(SIZE, seed=9)) == obstacle_signature(
+            rooms_field(SIZE, seed=9)
+        )
+
+
+class TestSpiral:
+    def test_spiral_is_valid(self):
+        field = spiral_field(SIZE, seed=3, rings=2)
+        assert ScenarioValidator().validate_field(field).ok
+
+    def test_more_rings_more_walls(self):
+        few = spiral_field(SIZE, seed=3, rings=1)
+        many = spiral_field(SIZE, seed=3, rings=3)
+        assert len(many.obstacles) > len(few.obstacles)
+
+    def test_rejects_zero_rings(self):
+        with pytest.raises(ValueError):
+            spiral_field(SIZE, rings=0)
+
+
+class TestClutter:
+    def test_density_controls_obstruction(self):
+        sparse = clutter_field(SIZE, seed=13, density=0.05)
+        dense = clutter_field(SIZE, seed=13, density=0.2)
+        validator = ScenarioValidator()
+        sparse_free = validator.validate_field(sparse).free_area_fraction
+        dense_free = validator.validate_field(dense).free_area_fraction
+        assert validator.validate_field(dense).ok
+        assert dense_free < sparse_free
+
+    def test_base_station_kept_clear(self):
+        field = clutter_field(SIZE, seed=13, density=0.2)
+        from repro.geometry import Vec2
+
+        assert field.is_free(Vec2(0.0, 0.0))
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            clutter_field(SIZE, density=1.5)

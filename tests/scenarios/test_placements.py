@@ -1,0 +1,98 @@
+"""Tests for the registered initial-placement strategies."""
+
+import math
+import random
+
+import pytest
+
+from repro.api import placement_registry
+from repro.field import obstacle_free_field, two_obstacle_field
+from repro.scenarios import maze_field
+from repro.sim import SimulationConfig
+
+
+def place(name, field, count=40, seed=3, **params):
+    config = SimulationConfig(sensor_count=count, seed=seed)
+    strategy = placement_registry.get(name)
+    return strategy(config, field, random.Random(seed), **params)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize(
+        "name", ["hotspot", "perimeter", "grid", "multi-cluster"]
+    )
+    def test_count_and_free_space_on_obstructed_field(self, name):
+        field = maze_field(300.0, seed=7, cells=4)
+        positions = place(name, field, count=30)
+        assert len(positions) == 30
+        assert all(field.is_free(p) for p in positions)
+
+    @pytest.mark.parametrize(
+        "name", ["hotspot", "perimeter", "grid", "multi-cluster"]
+    )
+    def test_deterministic_under_fixed_seed(self, name):
+        field = two_obstacle_field(400.0)
+        first = place(name, field, seed=11)
+        second = place(name, field, seed=11)
+        assert [(p.x, p.y) for p in first] == [(p.x, p.y) for p in second]
+
+
+class TestHotspot:
+    def test_concentrates_around_center(self):
+        field = obstacle_free_field(400.0)
+        positions = place("hotspot", field, count=80, spread=0.08)
+        cx = sum(p.x for p in positions) / len(positions)
+        cy = sum(p.y for p in positions) / len(positions)
+        assert abs(cx - 200.0) < 40.0 and abs(cy - 200.0) < 40.0
+        mean_dist = sum(
+            math.hypot(p.x - 200.0, p.y - 200.0) for p in positions
+        ) / len(positions)
+        assert mean_dist < 100.0  # far tighter than a uniform draw (~153 m)
+
+    def test_custom_center(self):
+        field = obstacle_free_field(400.0)
+        positions = place(
+            "hotspot", field, count=40, center_x=50.0, center_y=350.0, spread=0.05
+        )
+        cx = sum(p.x for p in positions) / len(positions)
+        cy = sum(p.y for p in positions) / len(positions)
+        assert abs(cx - 50.0) < 30.0 and abs(cy - 350.0) < 30.0
+
+
+class TestPerimeter:
+    def test_positions_hug_the_boundary(self):
+        field = obstacle_free_field(400.0)
+        positions = place("perimeter", field, count=40)
+        for p in positions:
+            boundary_distance = min(p.x, p.y, 400.0 - p.x, 400.0 - p.y)
+            assert boundary_distance < 40.0
+
+
+class TestGrid:
+    def test_lattice_spreads_over_the_field(self):
+        field = obstacle_free_field(400.0)
+        positions = place("grid", field, count=36, jitter=0.0)
+        # Quadrant occupancy: a lattice covers all four quadrants evenly.
+        quadrants = {(p.x > 200.0, p.y > 200.0) for p in positions}
+        assert len(quadrants) == 4
+
+
+class TestMultiCluster:
+    def test_round_robin_cluster_sizes(self):
+        field = obstacle_free_field(400.0)
+        positions = place("multi-cluster", field, count=30, clusters=3, spread=0.03)
+        # With a tight spread, positions form 3 separated blobs; check via
+        # simple 1-NN chaining distance: most points have a close neighbour.
+        close = 0
+        for i, p in enumerate(positions):
+            nearest = min(
+                p.distance_to(q) for j, q in enumerate(positions) if j != i
+            )
+            if nearest < 60.0:
+                close += 1
+        assert close >= 27
+
+    def test_rejects_zero_clusters(self):
+        field = obstacle_free_field(400.0)
+        with pytest.raises(ValueError):
+            place("multi-cluster", field, clusters=0)

@@ -1,0 +1,68 @@
+"""Registry-wide property tests.
+
+Every registered layout crossed with every registered placement must
+yield a scenario whose free space is connected and reachable from the
+base station, whose sensors all start in free space, and whose
+generation is deterministic under a fixed seed (the same scenario
+fingerprint twice).  New registry entries are picked up automatically,
+so simply registering a generator opts it into these guarantees.
+"""
+
+import pytest
+
+from repro.api import ScenarioSpec, layout_registry, placement_registry
+from repro.scenarios import ScenarioValidator, scenario_fingerprint
+
+#: Small but non-degenerate scale so the full cross product stays fast.
+FIELD_SIZE = 280.0
+SENSOR_COUNT = 12
+
+ALL_LAYOUTS = sorted(layout_registry.names())
+ALL_PLACEMENTS = sorted(placement_registry.names())
+
+
+def spec_for(layout: str, placement: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        field_size=FIELD_SIZE,
+        layout=layout,
+        placement=placement,
+        sensor_count=SENSOR_COUNT,
+        duration=10.0,
+        seed=23,
+    )
+
+
+class TestEveryRegisteredCombination:
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_layout_free_space_is_connected_and_reachable(self, layout):
+        report = ScenarioValidator().validate_field(
+            spec_for(layout, "uniform").build_field()
+        )
+        assert report.free_space_connected, report.issues()
+        assert report.base_station_reachable, report.issues()
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    @pytest.mark.parametrize("placement", ALL_PLACEMENTS)
+    def test_all_sensors_start_in_free_space(self, layout, placement):
+        spec = spec_for(layout, placement)
+        field = spec.build_field()
+        positions = spec.initial_positions(field)
+        assert len(positions) == SENSOR_COUNT
+        blocked = ScenarioValidator().validate_positions(field, positions)
+        assert blocked == ()
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    @pytest.mark.parametrize("placement", ALL_PLACEMENTS)
+    def test_generation_is_deterministic_under_fixed_seed(
+        self, layout, placement
+    ):
+        spec = spec_for(layout, placement)
+        assert scenario_fingerprint(spec) == scenario_fingerprint(spec)
+
+
+class TestNewRegistrationsAreCovered:
+    def test_cross_product_includes_the_procedural_entries(self):
+        assert {"maze", "rooms", "spiral", "clutter"} <= set(ALL_LAYOUTS)
+        assert {"hotspot", "perimeter", "grid", "multi-cluster"} <= set(
+            ALL_PLACEMENTS
+        )

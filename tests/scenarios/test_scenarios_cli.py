@@ -1,0 +1,48 @@
+"""Smoke tests for the ``python -m repro.scenarios`` CLI."""
+
+import json
+
+from repro.scenarios.cli import main
+
+
+class TestList:
+    def test_lists_layouts_placements_and_suite(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("maze", "rooms", "spiral", "clutter"):
+            assert name in out
+        for name in ("hotspot", "perimeter", "grid", "multi-cluster"):
+            assert name in out
+        assert "open-clustered" in out
+
+
+class TestCheck:
+    def test_smoke_check_passes(self, capsys):
+        assert main(["--check", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "all scenarios valid" in out
+        assert out.count("PASS") >= 10
+        assert "FAIL" not in out
+
+
+class TestRender:
+    def test_ascii_render_shows_base_station_and_walls(self, capsys):
+        assert main(["--render", "maze-quad", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "B" in out
+        assert "#" in out
+        assert "maze-quad" in out
+
+    def test_json_render_round_trips(self, capsys):
+        assert main(["--render", "rooms-grid", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "rooms-grid"
+        assert payload["obstacles"]
+        assert len(payload["positions"]) == payload["spec"]["sensor_count"]
+        assert len(payload["fingerprint"]) == 64
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["--render", "nope"]) == 2
+
+    def test_no_action_prints_help(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,48 @@
+"""Tests for the curated scenario suite."""
+
+import pytest
+
+from repro.experiments.common import SMOKE_SCALE
+from repro.scenarios import DEFAULT_SUITE, ScenarioSuite, SuiteEntry
+
+
+class TestSuiteStructure:
+    def test_curated_suite_size(self):
+        assert len(DEFAULT_SUITE) >= 10
+
+    def test_every_generator_family_is_represented(self):
+        layouts = {entry.layout for entry in DEFAULT_SUITE}
+        assert {"maze", "rooms", "spiral", "clutter"} <= layouts
+
+    def test_every_new_placement_is_represented(self):
+        placements = {entry.placement for entry in DEFAULT_SUITE}
+        assert {"hotspot", "perimeter", "grid", "multi-cluster"} <= placements
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="open-clustered"):
+            DEFAULT_SUITE.get("no-such-scenario")
+
+    def test_duplicate_names_rejected(self):
+        entry = SuiteEntry("dup", "", layout="obstacle-free", placement="uniform")
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSuite([entry, entry])
+
+
+class TestSuiteSpecs:
+    def test_specs_materialise_at_scale(self):
+        pairs = DEFAULT_SUITE.specs(SMOKE_SCALE)
+        assert len(pairs) == len(DEFAULT_SUITE)
+        for entry, spec in pairs:
+            assert spec.field_size == SMOKE_SCALE.field_size
+            assert spec.sensor_count == SMOKE_SCALE.sensor_count
+            assert spec.layout == entry.layout
+
+    def test_named_subset(self):
+        pairs = DEFAULT_SUITE.specs(SMOKE_SCALE, names=["maze-quad"])
+        assert [entry.name for entry, _ in pairs] == ["maze-quad"]
+
+    def test_entries_build_worlds(self):
+        entry = DEFAULT_SUITE.get("rooms-grid")
+        world = entry.spec(SMOKE_SCALE).build_world()
+        assert len(world.sensors) == SMOKE_SCALE.sensor_count
+        assert all(world.field.is_free(s.position) for s in world.sensors)

@@ -1,0 +1,110 @@
+"""Tests for the scenario validator and bounded-retry generation."""
+
+import pytest
+
+from repro.field import Field, Obstacle
+from repro.geometry import Vec2
+from repro.scenarios import (
+    ScenarioValidator,
+    generate_validated,
+    scenario_fingerprint,
+)
+from repro.api import ScenarioSpec
+
+
+class TestValidateField:
+    def test_open_field_is_valid(self):
+        report = ScenarioValidator().validate_field(Field(300.0, 300.0))
+        assert report.ok
+        assert report.free_space_connected
+        assert report.base_station_reachable
+        assert report.free_area_fraction == 1.0
+
+    def test_partitioned_field_is_rejected(self):
+        wall = Obstacle.rectangle(140.0, 0.0, 160.0, 300.0)
+        report = ScenarioValidator().validate_field(Field(300.0, 300.0, [wall]))
+        assert not report.free_space_connected
+        assert not report.ok
+        assert any("connected" in issue for issue in report.issues())
+
+    def test_blocked_base_station_is_rejected(self):
+        blocker = Obstacle.rectangle(0.0, 0.0, 50.0, 50.0)
+        report = ScenarioValidator().validate_field(Field(300.0, 300.0, [blocker]))
+        assert not report.base_station_reachable
+        assert not report.ok
+
+    def test_minimum_free_fraction(self):
+        big = Obstacle.rectangle(60.0, 60.0, 300.0, 300.0)
+        validator = ScenarioValidator(min_free_fraction=0.5)
+        report = validator.validate_field(Field(300.0, 300.0, [big]))
+        assert report.free_space_connected
+        assert report.free_area_fraction < 0.5
+        assert not report.ok
+
+    def test_validate_positions_reports_blocked_indices(self):
+        wall = Obstacle.rectangle(100.0, 100.0, 200.0, 200.0)
+        field = Field(300.0, 300.0, [wall])
+        blocked = ScenarioValidator().validate_positions(
+            field, [Vec2(10, 10), Vec2(150, 150), Vec2(250, 250)]
+        )
+        assert blocked == (1,)
+
+
+class TestValidateScenario:
+    def test_suite_style_scenario_passes(self):
+        spec = ScenarioSpec(
+            field_size=300.0,
+            layout="maze",
+            layout_params={"seed": 7, "cells": 4},
+            placement="hotspot",
+            sensor_count=16,
+            duration=50.0,
+        )
+        report = ScenarioValidator().validate_scenario(spec)
+        assert report.ok
+        assert report.blocked_sensors == ()
+
+
+class TestGenerateValidated:
+    def test_returns_first_valid_candidate(self):
+        calls = []
+
+        def build(rng):
+            calls.append(rng.random())
+            return Field(200.0, 200.0)
+
+        field = generate_validated(build, seed=3)
+        assert isinstance(field, Field)
+        assert len(calls) == 1
+
+    def test_raises_after_bounded_attempts(self):
+        wall = Obstacle.rectangle(90.0, 0.0, 110.0, 200.0)
+
+        def build(rng):
+            return Field(200.0, 200.0, [wall])
+
+        with pytest.raises(RuntimeError, match="no valid field layout"):
+            generate_validated(build, seed=3, max_attempts=4)
+
+
+class TestFingerprint:
+    def test_same_spec_same_fingerprint(self):
+        spec = ScenarioSpec(
+            field_size=300.0,
+            layout="clutter",
+            layout_params={"seed": 13},
+            placement="uniform",
+            sensor_count=12,
+        )
+        assert scenario_fingerprint(spec) == scenario_fingerprint(spec)
+
+    def test_seed_changes_fingerprint(self):
+        spec = ScenarioSpec(
+            field_size=300.0,
+            layout="clutter",
+            layout_params={"seed": 13},
+            placement="uniform",
+            sensor_count=12,
+        )
+        other = spec.replace(seed=spec.seed + 1)
+        assert scenario_fingerprint(spec) != scenario_fingerprint(other)
