@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CI perf smoke: one n=500 batched CPVF period vs the committed budget.
+
+Times a batched-mode CPVF period at n = 500 (clustered, the canonical
+bench layout) and compares it with the committed ``cpvf_period`` n=500
+``fast_ms`` row of ``BENCH_perf.json``.  The budget is deliberately
+generous — ``3 x fast_ms`` — because hosted CI runners are noisy and
+this gate exists to catch order-of-magnitude regressions (an
+accidentally quadratic path, a lost cache), not timer jitter.
+
+Exit codes: 0 on pass *or* skip (no committed entry / unmeasurable),
+1 only when the measured period exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+N = 500
+BUDGET_FACTOR = 3.0
+
+
+def main() -> int:
+    bench_path = REPO_ROOT / "BENCH_perf.json"
+    if not bench_path.exists():
+        print("perf-smoke: SKIP (no committed BENCH_perf.json)")
+        return 0
+    bench = json.loads(bench_path.read_text())
+    row = next(
+        (r for r in bench.get("cpvf_period", ()) if r.get("n") == N), None
+    )
+    if row is None or "fast_ms" not in row:
+        print(f"perf-smoke: SKIP (no committed cpvf_period n={N} entry)")
+        return 0
+
+    from repro.experiments.perfbench import _timed_periods
+
+    batched_s = _timed_periods(
+        N, seed=3, fast=True, periods=4, mode="batched"
+    )
+    batched_ms = batched_s * 1000.0
+    budget_ms = BUDGET_FACTOR * row["fast_ms"]
+    verdict = "ok" if batched_ms <= budget_ms else "FAIL"
+    print(
+        f"perf-smoke: n={N} batched period {batched_ms:.2f} ms, "
+        f"budget {budget_ms:.2f} ms (3 x committed fast_ms "
+        f"{row['fast_ms']:.2f} ms) -> {verdict}"
+    )
+    return 0 if verdict == "ok" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,18 +3,31 @@
 
 Usage (from the repo root)::
 
-    python benchmarks/run_perf.py
+    python benchmarks/run_perf.py                      # full suite
+    python benchmarks/run_perf.py --only cpvf_period   # one entry only
+    python benchmarks/run_perf.py --only cpvf_period --n 2000 10000
+    python benchmarks/run_perf.py --list               # entry names
 
-Runs the spatial-subsystem benchmarks (neighbor-table build, one full
-CPVF period, coverage re-measurement) at n in {100, 500, 1000}, asserting
-fast-path/seed parity while timing, plus the sweep-throughput entry
-(serial vs process-sharded ``SweepRunner``, asserting record equality),
-and writes the results next to this repository's README so future PRs can
-track the perf trajectory.
+Runs the spatial-subsystem benchmarks (neighbor-table build, CPVF
+periods, coverage re-measurement) plus the sweep-throughput,
+scenario-generation and batched-CPVF entries, asserting fast-path/seed
+parity (or batched/sequential convergence) while timing, and writes the
+results next to this repository's README so future PRs can track the
+perf trajectory.
+
+``--only ENTRY [ENTRY ...]`` regenerates a subset of entries and merges
+them into the existing ``BENCH_perf.json`` — the untouched entries are
+preserved verbatim, so one noisy row can be re-measured without paying
+for the whole suite.  ``--n N [N ...]`` overrides the population sizes
+of the per-population entries (``neighbor_table``, ``cpvf_period``,
+``coverage``); without it, ``cpvf_period`` runs the classic sizes
+(100/500/1000, seed vs vectorized) plus the three-mode scale rows
+(2000/5000/10000, seed vs vectorized vs batched).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import platform
@@ -23,31 +36,63 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments.perfbench import run_perf_suite  # noqa: E402
+from repro.experiments.perfbench import PERF_ENTRIES, run_perf_suite  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "BENCH_perf.json"
 
 
-def main() -> None:
-    results = run_perf_suite()
-    results["python"] = platform.python_version()
-    results["machine"] = platform.machine()
-    out = REPO_ROOT / "BENCH_perf.json"
-    out.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {out}")
+def _merge_entry(old, new):
+    """Merge regenerated rows into a committed entry, row by row.
+
+    Per-population entries are lists of row dicts keyed by
+    ``(n, layout)``; a partial regeneration (``--only ... --n ...``)
+    replaces only the re-measured rows and keeps the other committed
+    rows, so re-running one noisy row cannot drop its siblings.  Entries
+    that are not keyed row lists are replaced wholesale.
+    """
+    def row_key(row):
+        return (row["n"], row.get("layout", ""))
+
+    if not (
+        isinstance(old, list)
+        and isinstance(new, list)
+        and all(isinstance(r, dict) and "n" in r for r in old + new)
+    ):
+        return new
+    rows = {row_key(row): row for row in old}
+    rows.update({row_key(row): row for row in new})
+    return [rows[key] for key in sorted(rows)]
+
+
+def _print_results(results: dict) -> None:
     for section in ("neighbor_table", "cpvf_period", "coverage"):
-        for row in results[section]:
+        for row in results.get(section, ()):
             layout = f" {row['layout']}" if "layout" in row else ""
+            extra = ""
+            if "batched_ms" in row:
+                extra = (
+                    f" batched={row['batched_ms']:.2f} ms"
+                    f" ({row['speedup_vs_vectorized']:.1f}x vs vectorized)"
+                )
             print(
                 f"{section}{layout} n={row['n']}: "
                 f"seed={row['seed_ms']:.2f} ms fast={row['fast_ms']:.2f} ms "
-                f"({row['speedup']:.1f}x)"
+                f"({row['speedup']:.1f}x){extra}"
             )
-    for row in results["sweep_throughput"]:
+    for row in results.get("cpvf_convergence", ()):
+        print(
+            f"cpvf_convergence {row['scenario']} n={row['n']}: "
+            f"sequential={row['sequential_coverage']:.4f} "
+            f"batched={row['batched_coverage']:.4f} "
+            f"(gap {row['abs_gap']:.4f})"
+        )
+    for row in results.get("sweep_throughput", ()):
         print(
             f"sweep_throughput runs={row['runs']}: "
             f"serial={row['seed_ms']:.0f} ms jobs={row['jobs']}"
             f"={row['fast_ms']:.0f} ms ({row['speedup']:.1f}x)"
         )
-    for row in results["scenario_generation"]:
+    for row in results.get("scenario_generation", ()):
         print(
             f"scenario_generation {row['layout']} @ {row['size']:.0f} m: "
             f"{row['gen_ms']:.1f} ms/scenario "
@@ -55,5 +100,50 @@ def main() -> None:
         )
 
 
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate (parts of) BENCH_perf.json"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="ENTRY",
+        default=None,
+        help="regenerate only these entries and merge into the existing file",
+    )
+    parser.add_argument(
+        "--n",
+        nargs="+",
+        type=int,
+        metavar="N",
+        default=None,
+        help="population sizes for the per-population entries",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=3, help="benchmark seed (default 3)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list entry names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in PERF_ENTRIES:
+            print(name)
+        return 0
+
+    results = run_perf_suite(ns=args.n, seed=args.seed, only=args.only)
+    if args.only and OUT_PATH.exists():
+        merged = json.loads(OUT_PATH.read_text())
+        for key, value in results.items():
+            merged[key] = _merge_entry(merged.get(key), value)
+        results = merged
+    results["python"] = platform.python_version()
+    results["machine"] = platform.machine()
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    _print_results(results)
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 """The paper's primary contribution: the CPVF and FLOOR deployment schemes."""
 
+from .batch_ladder import TreeSchedule, batched_ladder_steps, tree_level_colors
 from .connectivity import NeighborMotion, max_valid_step, step_is_valid, STEP_FRACTIONS
-from .cpvf import CPVFScheme
+from .cpvf import CPVFScheme, CPVF_MODES
 from .expansion import ExpansionKind, ExpansionPlanner, ExpansionPoint
 from .floor_scheme import FloorScheme
 from .floors import FloorGeometry
@@ -17,6 +18,10 @@ __all__ = [
     "step_is_valid",
     "STEP_FRACTIONS",
     "CPVFScheme",
+    "CPVF_MODES",
+    "TreeSchedule",
+    "batched_ladder_steps",
+    "tree_level_colors",
     "ExpansionKind",
     "ExpansionPlanner",
     "ExpansionPoint",

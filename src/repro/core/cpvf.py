@@ -34,6 +34,7 @@ from ..mobility import Bug2Planner, Handedness
 from ..network import BASE_STATION_ID, MessageType
 from ..sensors import Sensor, SensorState
 from ..sim import DeploymentScheme, World
+from .batch_ladder import TreeSchedule, batched_ladder_steps
 from .connectivity import (
     STEP_FRACTIONS,
     NeighborMotion,
@@ -44,10 +45,13 @@ from .lazy import LazyMovementController
 from .oscillation import OscillationAvoidance, OscillationMode
 from .virtual_force import VirtualForceModel
 
-__all__ = ["CPVFScheme"]
+__all__ = ["CPVFScheme", "CPVF_MODES"]
 
 #: Shared zero direction (Vec2 is immutable, so one instance is safe).
 _ZERO_VEC = Vec2(0.0, 0.0)
+
+#: The three execution strategies of the coverage stage (see ``mode``).
+CPVF_MODES = ("sequential", "vectorized", "batched")
 
 
 class CPVFScheme(DeploymentScheme):
@@ -62,6 +66,7 @@ class CPVFScheme(DeploymentScheme):
         oscillation_mode: str = "one-step",
         repulsion_distance: Optional[float] = None,
         vectorized: bool = True,
+        mode: Optional[str] = None,
     ):
         """Create the scheme.
 
@@ -77,25 +82,59 @@ class CPVFScheme(DeploymentScheme):
             Pairwise repulsion threshold for the virtual forces; defaults to
             ``2 * rs`` of the simulated sensors.
         vectorized:
-            Evaluate the pairwise virtual forces for all sensors in one
-            numpy batch instead of per-sensor ``Vec2`` loops.  The batch
-            uses every sensor's start-of-period position, matching the
-            paper's simultaneous-decision semantics (the scalar loop lets
-            earlier movers' new positions leak into later sensors' forces
-            within the same period); it can also differ by one ulp in the
-            force vector because ``np.hypot`` and ``math.hypot`` round
-            independently.  The scalar path is kept as the seed baseline
-            for the perf benchmarks.
+            Back-compat switch: ``True`` selects ``mode="vectorized"``,
+            ``False`` ``mode="sequential"``.  Ignored when ``mode`` is
+            given explicitly.
+        mode:
+            Execution strategy of the coverage stage
+            (see ``docs/performance.md``):
+
+            ``"sequential"``
+                The seed dynamics: sensors decide and move one after the
+                other within a period, each seeing earlier movers' new
+                positions.
+            ``"vectorized"``
+                Forces for all sensors evaluated in one numpy batch from
+                start-of-period positions (the paper's simultaneous-
+                decision semantics); the step ladder still runs per
+                sensor against live link positions.  It can differ from
+                sequential by one ulp in the force vector because
+                ``np.hypot`` and ``math.hypot`` round independently.
+            ``"batched"``
+                Conflict-free batch execution: tree levels are colored by
+                BFS-depth parity, and each color class evaluates ladder,
+                obstacle clipping and oscillation test as arrays against
+                frozen link positions, committing in one pass.  Same
+                per-period message accounting; trajectories are
+                equivalent in distribution to the other modes rather
+                than numerically identical.
         """
+        if mode is None:
+            mode = "vectorized" if vectorized else "sequential"
+        if mode not in CPVF_MODES:
+            raise ValueError(
+                f"unknown CPVF mode {mode!r}; choose from {list(CPVF_MODES)}"
+            )
         self._allow_parent_change = allow_parent_change
         self._oscillation_delta = oscillation_delta
         self._oscillation_mode = OscillationMode.from_string(oscillation_mode)
         self._repulsion_distance = repulsion_distance
-        self._vectorized = vectorized
+        self._mode = mode
+        self._vectorized = mode != "sequential"
         self._planner: Optional[Bug2Planner] = None
         self._forces: Optional[VirtualForceModel] = None
         self._lazy: Optional[LazyMovementController] = None
         self._avoidance: Optional[OscillationAvoidance] = None
+        #: Link-id structures derived from the connectivity tree, rebuilt
+        #: only when ``tree.version`` changes.
+        self._link_ids_version: Optional[int] = None
+        self._link_ids: Dict[int, tuple] = {}
+        self._schedule: Optional[TreeSchedule] = None
+
+    @property
+    def mode(self) -> str:
+        """The configured execution mode of the coverage stage."""
+        return self._mode
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -118,6 +157,12 @@ class CPVFScheme(DeploymentScheme):
             delta=self._oscillation_delta,
             mode=self._oscillation_mode,
         )
+        # Drop tree-derived caches from any previous world: a fresh tree
+        # restarts its version counter, so stale entries could otherwise
+        # collide with the new world's version values.
+        self._link_ids = {}
+        self._link_ids_version = None
+        self._schedule = None
         self._bootstrap_connectivity(world)
         for sensor in world.sensors:
             if sensor.state is SensorState.DISCONNECTED:
@@ -156,6 +201,20 @@ class CPVFScheme(DeploymentScheme):
     def step(self, world: World) -> None:
         assert self._planner is not None and self._forces is not None
         assert self._lazy is not None and self._avoidance is not None
+        if self._mode == "batched":
+            # The connectivity stage only needs neighbour rows for sensors
+            # that are still walking toward the tree; the coverage stage
+            # works on packed pair arrays.  Skipping the full per-sensor
+            # table dict is a large part of the batched mode's win.
+            disconnected = [
+                s.sensor_id for s in world.sensors if not s.is_connected()
+            ]
+            if disconnected:
+                table = world.neighbor_rows(disconnected)
+                self._connect_reachable_sensors(world, table)
+                self._advance_disconnected_sensors(world, table)
+            self._apply_virtual_forces_batched(world)
+            return
         table = world.neighbor_table()
         self._connect_reachable_sensors(world, table)
         self._advance_disconnected_sensors(world, table)
@@ -341,33 +400,452 @@ class CPVFScheme(DeploymentScheme):
                 sensor.previous_position = sensor.position
                 continue
 
-            # Respect obstacles and the field boundary.
-            step = world.field.max_free_travel(sensor.position, direction, step)
-            # Inlined `position + direction.normalized() * step`.
-            dir_norm = math.hypot(direction.x, direction.y)
-            position = sensor.position
-            if dir_norm <= EPS:
-                planned_end = position
-            else:
-                planned_end = Vec2(
-                    position.x + (direction.x / dir_norm) * step,
-                    position.y + (direction.y / dir_norm) * step,
+            self._finish_move(world, sensor, direction, step)
+
+    # -- Stage 2, batched: conflict-free color-class execution ----------
+    def _get_schedule(self, world: World) -> TreeSchedule:
+        """The coloring/link schedule for the current tree snapshot."""
+        tree = world.tree
+        n = len(world.sensors)
+        schedule = self._schedule
+        if (
+            schedule is None
+            or schedule.version != tree.version
+            or len(schedule.colors) != n
+        ):
+            schedule = TreeSchedule.build(tree, n)
+            self._schedule = schedule
+        return schedule
+
+    def _force_direction_arrays(
+        self, world: World, xs, ys, connected, rows, cols, in_range,
+        symmetric: bool,
+    ):
+        """Unit force directions for all sensors as arrays.
+
+        The pairwise term comes from the packed neighbour pairs (already
+        generated for the period; ``in_range`` masks the pairs within the
+        exact communication range).  With a common communication range
+        (``symmetric``) the pair relation is symmetric, so each unique
+        pair is evaluated once and scattered to both endpoints;
+        heterogeneous ranges keep the directed evaluation — a sensor only
+        feels neighbours *it* can see.  The wall terms use the array form
+        of ``boundary_force_xy``; only sensors inside an obstacle's
+        perception box pay the scalar per-obstacle loop.  Returns
+        ``(ux, uy, moving)`` where ``moving`` marks connected sensors
+        with a non-zero resultant.
+        """
+        assert self._forces is not None
+        if symmetric:
+            if rows.size:
+                keep = in_range & (rows < cols)
+                rows, cols = rows[keep], cols[keep]
+            fx, fy = self._forces.sensor_force_sums_symmetric(
+                xs, ys, rows, cols
+            )
+        else:
+            if rows.size:
+                keep = in_range & connected[rows]
+                rows, cols = rows[keep], cols[keep]
+            fx, fy = self._forces.sensor_force_sums(xs, ys, rows, cols)
+        field = world.field
+        bx, by = self._forces.boundary_force_arrays(
+            xs, ys, field.width, field.height
+        )
+        fx += bx
+        fy += by
+        if field.obstacles:
+            d = self._forces.obstacle_distance
+            near = np.zeros(len(xs), dtype=bool)
+            for ob in field.obstacles:
+                xmin, ymin, xmax, ymax = ob.bounding_box()
+                near |= (
+                    (xs >= xmin - d)
+                    & (xs <= xmax + d)
+                    & (ys >= ymin - d)
+                    & (ys <= ymax + d)
                 )
-            previous = sensor.previous_position
-            if self._avoidance.should_cancel(
-                step, sensor.position, planned_end, previous
-            ):
-                sensor.previous_position = sensor.position
+            for i in np.flatnonzero(near & connected):
+                extra = self._forces.obstacle_only_force(
+                    world.sensors[i].position, field
+                )
+                fx[i] += extra.x
+                fy[i] += extra.y
+        norm = np.hypot(fx, fy)
+        moving = connected & (norm > EPS)
+        safe = np.where(moving, norm, 1.0)
+        ux = np.where(moving, fx / safe, 0.0)
+        uy = np.where(moving, fy / safe, 0.0)
+        return ux, uy, moving
+
+    def _apply_virtual_forces_batched(self, world: World) -> None:
+        """One coverage period, executed color class by color class.
+
+        Both classes evaluate ladder, obstacle clipping and oscillation
+        test as arrays against frozen link positions and commit in one
+        pass; a sensor blocked at step zero (or outside the colored tree)
+        is deferred to a sequential repair pass against the settled
+        positions, mirroring the serialized lock-based parent-change
+        handshake of the paper.  Message accounting is structural — one
+        NEIGHBOR_STATE transmission per preserved link of every sensor
+        with a non-zero force — and therefore identical to the scalar
+        modes on the same tree.
+        """
+        assert self._forces is not None and self._avoidance is not None
+        config = world.config
+        field = world.field
+        sensors = world.sensors
+        n = len(sensors)
+        if n == 0:
+            return
+        starts = [s.position for s in sensors]
+        xs = np.fromiter((p.x for p in starts), float, n)
+        ys = np.fromiter((p.y for p in starts), float, n)
+        connected = np.fromiter((s.is_connected() for s in sensors), bool, n)
+        if not connected.any():
+            return
+        # One inflated pair set serves both the force evaluation (masked
+        # to the exact range) and the repair pass's candidate rows: a
+        # sensor within range at any point of the period was within
+        # rc + 2 * max_step at the period start.
+        rc_list = [s.communication_range for s in sensors]
+        rc_min, rc_max = min(rc_list), max(rc_list)
+        pair_extra = 2.0 * config.max_step
+        rows, cols, d2 = world.neighbor_pairs(pair_extra, with_d2=True)
+        if rc_min == rc_max:
+            limit = rc_min + 1e-9
+            in_range = d2 <= limit * limit
+        else:
+            rcs = np.fromiter(rc_list, float, n) + 1e-9
+            in_range = d2 <= rcs[rows] * rcs[rows]
+        ux, uy, moving = self._force_direction_arrays(
+            world, xs, ys, connected, rows, cols, in_range,
+            symmetric=rc_min == rc_max,
+        )
+        schedule = self._get_schedule(world)
+        colors = schedule.colors
+        # Connected sensors outside the colored tree (detached subtrees)
+        # fall back to the full scalar treatment in the repair pass.
+        stray = moving & (colors < 0)
+        repair: List[int] = np.flatnonzero(stray).tolist()
+        max_step = config.max_step
+        threshold = self._avoidance.threshold()
+        prev_x = prev_y = None
+        if (
+            threshold > 0.0
+            and self._avoidance.mode is OscillationMode.TWO_STEP
+        ):
+            # NaN marks "no history yet": every comparison against it is
+            # False, exactly like the scalar None check.
+            prev_x = np.fromiter(
+                (
+                    s.previous_position.x
+                    if s.previous_position is not None
+                    else math.nan
+                    for s in sensors
+                ),
+                float,
+                n,
+            )
+            prev_y = np.fromiter(
+                (
+                    s.previous_position.y
+                    if s.previous_position is not None
+                    else math.nan
+                    for s in sensors
+                ),
+                float,
+                n,
+            )
+        base = world.base_station
+        for color in (0, 1):
+            idx = np.flatnonzero(moving & (colors == color))
+            if idx.size == 0:
                 continue
+            pair_owner, nodes = schedule.links_for(idx)
+            if nodes.size:
+                # Each preserved link costs one state-exchange message
+                # before the step-size decision (Section 4.2).
+                world.routing.record_one_hop(
+                    MessageType.NEIGHBOR_STATE, int(nodes.size)
+                )
+            safe_nodes = np.maximum(nodes, 0)
+            link_x = np.where(nodes == BASE_STATION_ID, base.x, xs[safe_nodes])
+            link_y = np.where(nodes == BASE_STATION_ID, base.y, ys[safe_nodes])
+            steps = batched_ladder_steps(
+                xs[idx],
+                ys[idx],
+                ux[idx],
+                uy[idx],
+                max_step,
+                config.communication_range,
+                pair_owner,
+                link_x,
+                link_y,
+            )
+            blocked = steps <= 0.0
+            repair.extend(idx[blocked].tolist())
+            movers = np.flatnonzero(~blocked)
+            if movers.size == 0:
+                continue
+            midx = idx[movers]
+            mux, muy = ux[midx], uy[midx]
+            clipped = field.max_free_travel_batch(
+                xs[midx], ys[midx], mux, muy, steps[movers]
+            )
+            dir_norm = np.hypot(mux, muy)
+            safe = np.where(dir_norm > EPS, dir_norm, 1.0)
+            end_x = np.where(
+                dir_norm > EPS, xs[midx] + (mux / safe) * clipped, xs[midx]
+            )
+            end_y = np.where(
+                dir_norm > EPS, ys[midx] + (muy / safe) * clipped, ys[midx]
+            )
+            if threshold > 0.0:
+                if self._avoidance.mode is OscillationMode.ONE_STEP:
+                    cancel = clipped < threshold
+                else:
+                    cancel = (
+                        np.hypot(
+                            end_x - prev_x[midx], end_y - prev_y[midx]
+                        )
+                        < threshold
+                    )
+                keep = ~cancel
+                midx = midx[keep]
+                end_x, end_y = end_x[keep], end_y[keep]
+            dists = np.hypot(end_x - xs[midx], end_y - ys[midx])
+            moves = [
+                (sensors[i], x, y, d)
+                for i, x, y, d in zip(
+                    midx.tolist(), end_x.tolist(), end_y.tolist(), dists.tolist()
+                )
+            ]
+            world.commit_moves(moves)
+            # Keep the coordinate arrays live for the next color class:
+            # its link positions must see this class's committed moves.
+            xs[midx] = end_x
+            ys[midx] = end_y
+        # Oscillation history: every connected sensor's previous position
+        # becomes its start-of-period position (the scalar modes do the
+        # same, branch by branch); repair sensors keep their history until
+        # their own scalar pass below reads it.
+        repair_set = set(repair)
+        for i in np.flatnonzero(connected).tolist():
+            if i not in repair_set:
+                sensors[i].previous_position = starts[i]
+        if not repair:
+            return
+        # The inflated pair rows double as the repair pass's candidate
+        # lists: a sensor in range of a blocked one at any point of the
+        # pass was within rc + 2 * max_step at the period start, and the
+        # live-distance filter inside the parent-change scan discards the
+        # extras, so the surviving candidates (and their order) match a
+        # freshly built neighbour table.
+        candidate_csr = None
+        if self._allow_parent_change:
+            offsets = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(np.bincount(rows, minlength=n), out=offsets[1:])
+            candidate_csr = (cols, offsets)
+        for i in repair:
+            self._repair_blocked(
+                world, sensors[i], Vec2(float(ux[i]), float(uy[i])),
+                record_messages=bool(stray[i]),
+                candidate_csr=candidate_csr,
+                xs=xs, ys=ys, connected=connected,
+            )
+            # Keep the live coordinate arrays in sync for later repairs.
+            pos = sensors[i].position
+            xs[i] = pos.x
+            ys[i] = pos.y
+
+    def _repair_blocked(
+        self,
+        world: World,
+        sensor: Sensor,
+        direction: Vec2,
+        record_messages: bool,
+        candidate_csr=None,
+        xs=None,
+        ys=None,
+        connected=None,
+    ) -> None:
+        """Sequential tail for sensors the batch could not move.
+
+        Re-runs the ladder against the settled (post-commit) link
+        positions, attempts a parent change when still blocked, and
+        finishes through the shared scalar tail.  ``record_messages`` is
+        ``False`` for batch-deferred sensors (their state exchange was
+        already accounted in the class batch) and ``True`` for stray
+        sensors that bypassed the batch entirely.  ``candidate_csr`` is
+        the repair pass's shared ``(cols, offsets)`` candidate structure;
+        ``xs, ys, connected`` its live coordinate/state arrays.
+        """
+        config = world.config
+        links = self._tree_link_positions(world, sensor)
+        if record_messages and links:
+            world.routing.record_one_hop(
+                MessageType.NEIGHBOR_STATE, len(links)
+            )
+        step = max_valid_step_points(
+            sensor.position.x,
+            sensor.position.y,
+            direction.x,
+            direction.y,
+            config.max_step,
+            links,
+            config.communication_range,
+        )
+        if step <= 0.0 and self._allow_parent_change:
+            # candidate_csr is always built when parent changes are
+            # allowed (the only caller constructs it unconditionally).
+            step = self._try_parent_change_batched(
+                world, sensor, direction, candidate_csr,
+                xs, ys, connected,
+            )
+        if step <= 0.0:
             sensor.previous_position = sensor.position
-            sensor.motion.move_to(planned_end)
+            return
+        self._finish_move(world, sensor, direction, step)
+
+    def _try_parent_change_batched(
+        self,
+        world: World,
+        sensor: Sensor,
+        direction: Vec2,
+        candidate_csr,
+        xs,
+        ys,
+        connected,
+    ) -> float:
+        """Array-filtered parent change for the batched repair pass.
+
+        Makes the same decision as :meth:`_try_parent_change` — same
+        candidate order (base station first, then ascending ids), same
+        fraction-outer scan — but enumerates candidates from the period's
+        inflated pair structure and filters them against the live
+        coordinate arrays instead of walking a neighbour table row in
+        Python.  The inflation covers the most any sensor moves within
+        the period, and the live distance filter below discards the
+        extras, so the surviving candidate set matches a freshly built
+        table.
+        """
+        config = world.config
+        sid = sensor.sensor_id
+        position = sensor.position
+        px, py = position.x, position.y
+        limit = config.communication_range + 1e-9
+        csr_cols, csr_offsets = candidate_csr
+        cand = csr_cols[csr_offsets[sid]:csr_offsets[sid + 1]]
+        cand = cand[connected[cand]]
+        if cand.size:
+            live = np.hypot(xs[cand] - px, ys[cand] - py) <= limit
+            cand = cand[live]
+        subtree = None
+        if cand.size:
+            subtree = world.tree.subtree_of(sid)
+            if len(subtree) > 1:
+                cand = np.asarray(
+                    [c for c in cand.tolist() if c not in subtree],
+                    dtype=np.intp,
+                )
+        base = world.base_station
+        base_ok = (
+            math.hypot(px - base.x, py - base.y)
+            <= config.communication_range
+        )
+        if cand.size == 0 and not base_ok:
+            return 0.0
+
+        if subtree is None:
+            subtree = world.tree.subtree_of(sid)
+        world.routing.record_subtree_lock(
+            world.tree, sid, subtree_size=len(subtree)
+        )
+
+        norm = math.hypot(direction.x, direction.y)
+        if norm <= EPS or config.max_step <= 0.0:
+            return 0.0
+        unit_x, unit_y = direction.x / norm, direction.y / norm
+        _, children = self._link_node_ids(world, sid)
+        child_idx = np.asarray(children, dtype=np.intp)
+        child_x, child_y = xs[child_idx], ys[child_idx]
+        # A required link that is already out of range invalidates every
+        # candidate step, whatever the new parent.
+        if np.any(np.hypot(px - child_x, py - child_y) > limit):
+            return 0.0
+        cand_x, cand_y = xs[cand], ys[cand]
+        for fraction in STEP_FRACTIONS:
+            step = fraction * config.max_step
+            if step <= 0.0:
+                return 0.0
+            qx, qy = px + unit_x * step, py + unit_y * step
+            if np.any(np.hypot(qx - child_x, qy - child_y) > limit):
+                continue
+            if base_ok and math.hypot(qx - base.x, qy - base.y) <= limit:
+                world.reparent_in_tree(sid, BASE_STATION_ID)
+                return step
+            ok = np.flatnonzero(np.hypot(qx - cand_x, qy - cand_y) <= limit)
+            if ok.size:
+                world.reparent_in_tree(sid, int(cand[ok[0]]))
+                return step
+        return 0.0
+
+    def _finish_move(
+        self, world: World, sensor: Sensor, direction: Vec2, step: float
+    ) -> None:
+        """Clip a validated step to free space, apply oscillation
+        avoidance, and commit the move (the shared per-sensor tail of all
+        three execution modes)."""
+        assert self._avoidance is not None
+        # Respect obstacles and the field boundary.
+        step = world.field.max_free_travel(sensor.position, direction, step)
+        # Inlined `position + direction.normalized() * step`.
+        dir_norm = math.hypot(direction.x, direction.y)
+        position = sensor.position
+        if dir_norm <= EPS:
+            planned_end = position
+        else:
+            planned_end = Vec2(
+                position.x + (direction.x / dir_norm) * step,
+                position.y + (direction.y / dir_norm) * step,
+            )
+        previous = sensor.previous_position
+        if self._avoidance.should_cancel(
+            step, sensor.position, planned_end, previous
+        ):
+            sensor.previous_position = sensor.position
+            return
+        sensor.previous_position = sensor.position
+        sensor.motion.move_to(planned_end)
+
+    def _link_node_ids(self, world: World, sensor_id: int) -> tuple:
+        """``(parent_id_or_None, children_tuple)`` for one sensor.
+
+        Derived lazily from the tree and cached keyed on
+        ``tree.version``, so the per-period scalar paths stop re-copying
+        the children set for every sensor every period.
+        """
+        tree = world.tree
+        if self._link_ids_version != tree.version:
+            self._link_ids = {}
+            self._link_ids_version = tree.version
+        cached = self._link_ids.get(sensor_id)
+        if cached is None:
+            children = tree.children.get(sensor_id)
+            cached = (
+                tree.parent.get(sensor_id),
+                tuple(children) if children else (),
+            )
+            self._link_ids[sensor_id] = cached
+        return cached
 
     def _tree_link_positions(
         self, world: World, sensor: Sensor
     ) -> List[tuple]:
         """Live ``(x, y)`` positions of the links the sensor must preserve."""
+        parent, children = self._link_node_ids(world, sensor.sensor_id)
         links: List[tuple] = []
-        parent = world.tree.parent_of(sensor.sensor_id)
         if parent is not None:
             pos = (
                 world.base_station
@@ -375,7 +853,7 @@ class CPVFScheme(DeploymentScheme):
                 else world.sensor(parent).position
             )
             links.append((pos.x, pos.y))
-        for child in world.tree.children_of(sensor.sensor_id):
+        for child in children:
             pos = world.sensor(child).position
             links.append((pos.x, pos.y))
         return links
@@ -384,13 +862,13 @@ class CPVFScheme(DeploymentScheme):
         self, world: World, sensor: Sensor
     ) -> List[NeighborMotion]:
         """Connections the sensor must preserve: its parent and children."""
+        parent, children = self._link_node_ids(world, sensor.sensor_id)
         required: List[NeighborMotion] = []
-        parent = world.tree.parent_of(sensor.sensor_id)
         if parent is not None and parent != BASE_STATION_ID:
             required.append(NeighborMotion.stationary(world.sensor(parent).position))
         elif parent == BASE_STATION_ID:
             required.append(NeighborMotion.stationary(world.base_station))
-        for child in world.tree.children_of(sensor.sensor_id):
+        for child in children:
             required.append(NeighborMotion.stationary(world.sensor(child).position))
         return required
 

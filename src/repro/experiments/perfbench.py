@@ -33,10 +33,13 @@ __all__ = [
     "seed_coverage_fraction",
     "measure_neighbor_table",
     "measure_cpvf_period",
+    "measure_cpvf_period_scale",
+    "measure_cpvf_convergence",
     "measure_coverage",
     "measure_sweep_throughput",
     "measure_scenario_generation",
     "run_perf_suite",
+    "PERF_ENTRIES",
 ]
 
 
@@ -131,9 +134,28 @@ def measure_neighbor_table(
 # ----------------------------------------------------------------------
 # CPVF periods
 # ----------------------------------------------------------------------
-def _timed_periods(n: int, seed: int, fast: bool, periods: int) -> float:
-    world = _make_perf_world(n, seed, clustered=True, fast=fast)
-    scheme = CPVFScheme(vectorized=fast)
+def _timed_periods(
+    n: int,
+    seed: int,
+    fast: bool,
+    periods: int,
+    mode: str = None,
+    fast_infra: bool = None,
+) -> float:
+    """Mean seconds per CPVF period for one execution configuration.
+
+    ``fast=False`` is the seed configuration: the sequential scheme with
+    the paper's reference ladder.  ``fast_infra`` controls the world's
+    neighbour/coverage infrastructure independently — the large-``n``
+    scale rows keep it on even for the seed *algorithm*, because the
+    seed's dense n x n matrices would not fit in memory at n = 10^4.
+    """
+    if fast_infra is None:
+        fast_infra = fast
+    world = _make_perf_world(n, seed, clustered=True, fast=fast_infra)
+    if mode is None:
+        mode = "vectorized" if fast else "sequential"
+    scheme = CPVFScheme(mode=mode)
     original_ladder = _cpvf_module.max_valid_step
     if not fast:
         # The seed ladder evaluated every fraction through Vec2 helpers.
@@ -160,6 +182,90 @@ def measure_cpvf_period(
         "seed_ms": seed_s * 1000.0,
         "fast_ms": fast_s * 1000.0,
         "speedup": seed_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+def measure_cpvf_period_scale(
+    n: int, seed: int = 3, periods: int = None, seed_periods: int = None
+) -> Dict[str, float]:
+    """Three-mode CPVF period cost at scale: seed vs vectorized vs batched.
+
+    The large-``n`` rows of ``BENCH_perf.json``.  ``seed_ms`` runs the
+    seed algorithm (sequential decisions, reference ladder) but on the
+    fast neighbour infrastructure — the seed's dense matrices would need
+    gigabytes at n = 10^4 — so it *understates* the true seed cost;
+    ``fast_ms`` is the vectorized mode (the pre-batch fast path) and
+    ``batched_ms`` the colored-batch kernel.  ``speedup`` keeps the
+    bench-wide convention (seed over the fastest path); the honest
+    batched-over-vectorized margin is ``speedup_vs_vectorized`` — about
+    2x at n >= 5000, because PR 1 already moved the dominant force
+    evaluation into numpy, and the protocol's parent-change churn is
+    sequential in every mode.
+    """
+    if periods is None:
+        periods = 6 if n <= 2000 else 3
+    if seed_periods is None:
+        seed_periods = max(1, min(periods, 20000 // n))
+    seed_s = _timed_periods(
+        n, seed, fast=False, periods=seed_periods, fast_infra=True
+    )
+    fast_s = _timed_periods(n, seed, fast=True, periods=periods)
+    batched_s = _timed_periods(
+        n, seed, fast=True, periods=periods, mode="batched"
+    )
+    return {
+        "n": n,
+        "seed_ms": seed_s * 1000.0,
+        "fast_ms": fast_s * 1000.0,
+        "batched_ms": batched_s * 1000.0,
+        "speedup": seed_s / batched_s if batched_s > 0 else float("inf"),
+        "speedup_vs_vectorized": (
+            fast_s / batched_s if batched_s > 0 else float("inf")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# CPVF convergence (batched vs sequential dynamics)
+# ----------------------------------------------------------------------
+def measure_cpvf_convergence(
+    seed: int = 1, duration: float = 750.0, n: int = 240
+) -> Dict[str, float]:
+    """Coverage plateau of the batched dynamics vs the sequential seed.
+
+    Runs the paper's Figure 3(a) scenario (240 sensors, rc = 60, rs = 40,
+    obstacle-free 1000 m field, 750 s horizon) once under the sequential
+    dynamics and once under the colored-batch kernel, and reports both
+    final coverages.  The batched schedule is semantically faithful — the
+    paper's sensors all move simultaneously — so the plateaus must agree;
+    the suite asserts the difference stays within two coverage points.
+    """
+    from ..sim import SimulationEngine
+
+    coverages: Dict[str, float] = {}
+    for mode in ("sequential", "batched"):
+        scale = ExperimentScale(
+            field_size=1000.0, sensor_count=n, duration=duration
+        )
+        config = make_config(scale, sensor_count=n, seed=seed)
+        world = make_world(config, scale)
+        engine = SimulationEngine(
+            world, CPVFScheme(mode=mode), trace_every=10**9
+        )
+        coverages[mode] = engine.run().final_coverage
+    gap = abs(coverages["batched"] - coverages["sequential"])
+    if gap > 0.02:
+        raise AssertionError(
+            "batched CPVF plateau diverged from sequential dynamics: "
+            f"{coverages['batched']:.4f} vs {coverages['sequential']:.4f}"
+        )
+    return {
+        "scenario": "fig3a",
+        "n": n,
+        "duration_s": duration,
+        "sequential_coverage": coverages["sequential"],
+        "batched_coverage": coverages["batched"],
+        "abs_gap": gap,
     }
 
 
@@ -335,23 +441,72 @@ def measure_scenario_generation(
 # ----------------------------------------------------------------------
 # Full suite
 # ----------------------------------------------------------------------
+#: Default population sizes of the classic (seed-vs-fast) entries and of
+#: the large-scale three-mode CPVF rows.
+DEFAULT_NS = (100, 500, 1000)
+SCALE_NS = (2000, 5000, 10000)
+
+#: Entry name -> builder ``(ns, seed) -> value``; ``run_perf_suite`` and
+#: the ``run_perf.py --only`` flag both draw from this table.
+PERF_ENTRIES: Dict[str, Callable] = {
+    "neighbor_table": lambda ns, seed: [
+        measure_neighbor_table(n, seed=seed, clustered=clustered)
+        for n in ns
+        for clustered in (False, True)
+    ],
+    "cpvf_period": lambda ns, seed: [
+        (
+            measure_cpvf_period(n, seed=seed)
+            if n <= 1000
+            else measure_cpvf_period_scale(n, seed=seed)
+        )
+        for n in ns
+    ],
+    "cpvf_convergence": lambda ns, seed: [measure_cpvf_convergence(seed=seed)],
+    "coverage": lambda ns, seed: [
+        measure_coverage(n, seed=seed) for n in ns if n <= 1000
+    ],
+    "sweep_throughput": lambda ns, seed: [measure_sweep_throughput(seed=seed)],
+    "scenario_generation": lambda ns, seed: measure_scenario_generation(),
+}
+
+
 def run_perf_suite(
-    ns: Sequence[int] = (100, 500, 1000), seed: int = 3
+    ns: Sequence[int] = None,
+    seed: int = 3,
+    only: Sequence[str] = None,
 ) -> Dict[str, object]:
-    """All benchmarks over the requested population sizes."""
-    return {
+    """All (or a subset of) benchmarks over the requested population sizes.
+
+    ``ns`` applies to the per-population entries (``neighbor_table``,
+    ``cpvf_period``, ``coverage``); ``only`` restricts the run to a
+    subset of :data:`PERF_ENTRIES` so one entry can be regenerated
+    without re-running the whole suite.
+    """
+    names = list(PERF_ENTRIES) if only is None else list(only)
+    unknown = [name for name in names if name not in PERF_ENTRIES]
+    if unknown:
+        raise KeyError(
+            f"unknown perf entries {unknown}; choose from {sorted(PERF_ENTRIES)}"
+        )
+    results: Dict[str, object] = {
         "description": (
-            "Spatial-index subsystem benchmarks: seed algorithms vs fast "
-            "paths; parity is asserted before/while timing."
+            "Spatial-index + batched-CPVF benchmarks: seed algorithms vs "
+            "fast paths; parity/convergence is asserted before or while "
+            "timing.  cpvf_period rows with a batched_ms column compare "
+            "all three CPVF execution modes (seed sequential ladder, "
+            "vectorized, colored-batch); their seed_ms runs the seed "
+            "algorithm on the fast neighbour infrastructure (the dense "
+            "seed matrices would not fit in memory at n >= 5000) and so "
+            "understates the true seed cost."
         ),
         "field": "1000x1000 m, rc=60, rs=40, coverage resolution 10 m",
-        "neighbor_table": [
-            measure_neighbor_table(n, seed=seed, clustered=clustered)
-            for n in ns
-            for clustered in (False, True)
-        ],
-        "cpvf_period": [measure_cpvf_period(n, seed=seed) for n in ns],
-        "coverage": [measure_coverage(n, seed=seed) for n in ns],
-        "sweep_throughput": [measure_sweep_throughput(seed=seed)],
-        "scenario_generation": measure_scenario_generation(),
     }
+    for name in names:
+        entry_ns = ns
+        if entry_ns is None:
+            entry_ns = (
+                DEFAULT_NS + SCALE_NS if name == "cpvf_period" else DEFAULT_NS
+            )
+        results[name] = PERF_ENTRIES[name](entry_ns, seed)
+    return results

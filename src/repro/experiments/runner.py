@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..api import RunRecord, SweepRunner, SweepSpec
+from ..api import RunRecord, SweepRunner, SweepSpec, thaw_params
 from .common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
 from .fig3 import format_fig3_records, sweep_fig3
 from .fig8 import format_fig8_records, sweep_fig8
@@ -124,12 +124,38 @@ def run_experiment_records(
     jobs: int = 1,
     seed: int = 1,
     trace_every: Optional[int] = None,
+    cpvf_mode: Optional[str] = None,
 ) -> Tuple[List[RunRecord], str]:
-    """Run one experiment; return its records and formatted report."""
+    """Run one experiment; return its records and formatted report.
+
+    ``cpvf_mode`` selects the CPVF execution strategy (``sequential`` /
+    ``vectorized`` / ``batched``, see ``docs/performance.md``) for every
+    CPVF run in the sweep; other schemes are untouched.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
     experiment = EXPERIMENTS[name]
     sweep = experiment.build(scale, seed, trace_every)
+    if cpvf_mode is not None:
+        from ..core import CPVF_MODES
+
+        if cpvf_mode not in CPVF_MODES:
+            raise ValueError(
+                f"unknown CPVF mode {cpvf_mode!r}; choose from {list(CPVF_MODES)}"
+            )
+        sweep = SweepSpec(
+            name=sweep.name,
+            runs=tuple(
+                run.replace(
+                    scheme_params={
+                        **thaw_params(run.scheme_params), "mode": cpvf_mode,
+                    }
+                )
+                if run.scheme == "CPVF"
+                else run
+                for run in sweep.runs
+            ),
+        )
     records = SweepRunner(jobs=jobs).run(sweep)
     return records, experiment.present(records)
 
@@ -216,6 +242,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write one JSON artifact per experiment (records + report)",
     )
     parser.add_argument(
+        "--cpvf-mode",
+        choices=["sequential", "vectorized", "batched"],
+        default=None,
+        help=(
+            "CPVF execution strategy for every CPVF run (see "
+            "docs/performance.md); default keeps the scheme's own default"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the available experiments and exit",
@@ -245,6 +280,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             jobs=args.jobs,
             seed=args.seed,
             trace_every=args.trace_every,
+            cpvf_mode=args.cpvf_mode,
         )
         print(report)
         if args.out is not None:

@@ -49,6 +49,17 @@ class Obstacle:
         """
         return self.polygon.contains(p, include_boundary=include_boundary)
 
+    def contains_points(self, px, py, include_boundary: bool = False):
+        """Vectorised :meth:`contains` over coordinate arrays.
+
+        Same classification as the scalar predicate (boundary excluded by
+        default), evaluated for a whole batch of points at once; the
+        rasteriser uses it for non-axis-aligned polygons.
+        """
+        return self.polygon.contains_points(
+            px, py, include_boundary=include_boundary
+        )
+
     def blocks_segment(self, seg: Segment) -> bool:
         """Whether a straight move along ``seg`` would enter the obstacle."""
         return self.polygon.segment_crosses_interior(seg)

@@ -151,6 +151,48 @@ class Polygon:
         """Whether ``p`` lies on the polygon's boundary."""
         return any(edge.distance_to_point(p) <= eps for edge in self.edges())
 
+    def contains_points(
+        self, px, py, include_boundary: bool = True, eps: float = 1e-7
+    ):
+        """Vectorised :meth:`contains` over arrays of point coordinates.
+
+        Returns a boolean array of the same shape as ``px``/``py``.  The
+        arithmetic mirrors the scalar test operation by operation — the
+        same ray-casting parity and the same clamped-projection boundary
+        distance — so rasterising a polygon over a grid produces the same
+        mask as calling :meth:`contains` per point.
+        """
+        import numpy as np
+
+        px = np.asarray(px, dtype=float)
+        py = np.asarray(py, dtype=float)
+        inside = np.zeros(px.shape, dtype=bool)
+        boundary = np.zeros(px.shape, dtype=bool)
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            dx, dy = b.x - a.x, b.y - a.y
+            denom = dx * dx + dy * dy
+            if denom <= EPS:
+                # Near-degenerate edge: distance to the closer endpoint
+                # (mirrors Segment.closest_point's degenerate branch).
+                dist = np.minimum(
+                    np.hypot(px - a.x, py - a.y), np.hypot(px - b.x, py - b.y)
+                )
+            else:
+                t = ((px - a.x) * dx + (py - a.y) * dy) / denom
+                t = np.minimum(1.0, np.maximum(0.0, t))
+                dist = np.hypot(px - (a.x + dx * t), py - (a.y + dy * t))
+            boundary |= dist <= eps
+            if a.y != b.y:
+                crosses = (a.y > py) != (b.y > py)
+                x_cross = a.x + (py - a.y) * (b.x - a.x) / (b.y - a.y)
+                inside ^= crosses & (px < x_cross)
+        if include_boundary:
+            return inside | boundary
+        return inside & ~boundary
+
     def distance_to_point(self, p: Vec2) -> float:
         """Distance from ``p`` to the polygon (zero when inside)."""
         if self.contains(p):

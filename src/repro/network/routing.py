@@ -107,9 +107,22 @@ class RoutingCostModel:
         self.stats.record_transmissions(message_type, count)
         return count
 
-    def record_subtree_lock(self, tree: ConnectivityTree, node_id: int) -> int:
-        """The LockTree/UnLockTree handshake over a node's subtree."""
-        cost = tree.lock_subtree_message_count(node_id)
+    def record_subtree_lock(
+        self,
+        tree: ConnectivityTree,
+        node_id: int,
+        subtree_size: Optional[int] = None,
+    ) -> int:
+        """The LockTree/UnLockTree handshake over a node's subtree.
+
+        ``subtree_size`` lets a caller that already walked the subtree
+        (the CPVF parent-change scans do, for candidate exclusion) skip
+        the second traversal; the accounting is identical.
+        """
+        if subtree_size is None:
+            cost = tree.lock_subtree_message_count(node_id)
+        else:
+            cost = 2 * max(0, subtree_size - 1)
         half = cost // 2
         self.stats.record_transmissions(MessageType.LOCK_TREE, half)
         self.stats.record_transmissions(MessageType.UNLOCK_TREE, cost - half)

@@ -31,6 +31,11 @@ class ConnectivityTree:
 
     parent: Dict[int, int] = field(default_factory=dict)
     children: Dict[int, Set[int]] = field(default_factory=dict)
+    #: Monotone counter bumped on every structural mutation.  Consumers
+    #: that derive expensive structures from the tree (the CPVF link-id
+    #: cache, the batched kernel's coloring schedule) key their caches on
+    #: it, so an unchanged tree never recomputes anything.
+    version: int = 0
 
     # ------------------------------------------------------------------
     # Membership and structure
@@ -108,6 +113,7 @@ class ConnectivityTree:
         self.parent[node_id] = parent_id
         self.children.setdefault(parent_id, set()).add(node_id)
         self.children.setdefault(node_id, set())
+        self.version += 1
 
     def detach(self, node_id: int, keep_subtree: bool = True) -> None:
         """Remove ``node_id`` from its parent.
@@ -123,6 +129,7 @@ class ConnectivityTree:
             for child in list(self.children.get(node_id, set())):
                 self.detach(child, keep_subtree=False)
             self.children.pop(node_id, None)
+        self.version += 1
 
     def reparent(self, node_id: int, new_parent_id: int) -> bool:
         """Move ``node_id`` (with its subtree) under ``new_parent_id``.
@@ -140,6 +147,7 @@ class ConnectivityTree:
         self.parent[node_id] = new_parent_id
         self.children.setdefault(new_parent_id, set()).add(node_id)
         self.children.setdefault(node_id, set())
+        self.version += 1
         return True
 
     def would_create_loop(self, node_id: int, new_parent_id: int) -> bool:

@@ -152,6 +152,35 @@ class World:
             return self._cache().neighbor_table()
         return self.radio.neighbor_table(self.sensors)
 
+    def neighbor_pairs(self, extra_radius: float = 0.0, with_d2: bool = False):
+        """Directed neighbour pairs ``(rows, cols[, d2])`` as index arrays.
+
+        The flat-array view of :meth:`neighbor_table` (same accepted pairs,
+        same ordering; ``extra_radius`` inflates the acceptance) used by
+        the batched CPVF kernel; see
+        :meth:`repro.spatial.NeighborCache.neighbor_pairs`.
+        """
+        if self.use_neighbor_cache:
+            return self._cache().neighbor_pairs(extra_radius, with_d2)
+        from ..spatial.cache import pairs_from_table
+
+        rows, cols, d2 = pairs_from_table(
+            self.sensors, self.radio.neighbor_table(self.sensors)
+        )
+        if with_d2:
+            return rows, cols, d2
+        return rows, cols
+
+    def neighbor_rows(self, sensor_ids: Sequence[int]) -> Dict[int, List[int]]:
+        """Neighbour lists for a subset of sensors (see the cache method).
+
+        Falls back to slicing the full table when the cache is disabled.
+        """
+        if self.use_neighbor_cache:
+            return self._cache().neighbor_rows(sensor_ids)
+        table = self.radio.neighbor_table(self.sensors)
+        return {sid: list(table.get(sid, ())) for sid in sensor_ids}
+
     def sensors_near_base_station(self) -> List[int]:
         """Sensors within one hop of the base station."""
         if self.use_neighbor_cache:
@@ -213,6 +242,25 @@ class World:
         if not self.sensors:
             return 0.0
         return self.total_moving_distance() / len(self.sensors)
+
+    # ------------------------------------------------------------------
+    # Position commits
+    # ------------------------------------------------------------------
+    def commit_moves(
+        self, moves: Sequence[Tuple[Sensor, float, float, float]]
+    ) -> None:
+        """Apply a batch of validated ``(sensor, x, y, distance)`` moves.
+
+        The single commit point of the batched CPVF path: one color class
+        commits here in one pass, and each sensor's position is assigned
+        exactly once (a single ``position_version`` bump per sensor per
+        class), so the neighbour cache's epoch advances once per moved
+        sensor rather than once per intermediate assignment.  The
+        odometer distances arrive precomputed from the class's batch
+        arrays.
+        """
+        for sensor, x, y, dist in moves:
+            sensor.motion.commit_move(x, y, dist)
 
     # ------------------------------------------------------------------
     # Tree maintenance helpers

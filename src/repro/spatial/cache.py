@@ -16,7 +16,9 @@ and several schemes do mutate neighbor lists in place.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .index import SpatialIndex, pack_positions
 
@@ -29,6 +31,36 @@ __all__ = ["NeighborCache"]
 #: ``link_exists`` re-check so borderline float rounding between the
 #: squared and sqrt formulations can never drop a candidate.
 _QUERY_SLACK = 1e-9
+
+#: Link tolerance mirrored from :mod:`repro.network.radio` (not imported —
+#: radio itself imports this package); the pair queries below must accept
+#: exactly the pairs the neighbour table accepts.
+_LINK_EPS = 1e-9
+
+
+def pairs_from_table(sensors, table) -> tuple:
+    """Pack a neighbour-table dict into ``(rows, cols, d2)`` arrays.
+
+    The shared fallback conversion for consumers that need the flat pair
+    view when the indexed path is unavailable (line-of-sight radio,
+    cache disabled): positional indices in table order, plus the exact
+    squared distances.
+    """
+    pos_of = {s.sensor_id: k for k, s in enumerate(sensors)}
+    rows_list: List[int] = []
+    cols_list: List[int] = []
+    for s in sensors:
+        r = pos_of[s.sensor_id]
+        for nb in table.get(s.sensor_id, ()):
+            rows_list.append(r)
+            cols_list.append(pos_of[nb])
+    rows = np.asarray(rows_list, dtype=np.intp)
+    cols = np.asarray(cols_list, dtype=np.intp)
+    xs = np.fromiter((s.position.x for s in sensors), float, len(sensors))
+    ys = np.fromiter((s.position.y for s in sensors), float, len(sensors))
+    dx = xs[rows] - xs[cols]
+    dy = ys[rows] - ys[cols]
+    return rows, cols, dx * dx + dy * dy
 
 
 class NeighborCache:
@@ -44,6 +76,9 @@ class NeighborCache:
         self._table: Optional[Dict[int, List[int]]] = None
         self._base_neighbors: Optional[List[int]] = None
         self._component: Optional[Set[int]] = None
+        self._pairs: Dict[float, tuple] = {}
+        self._pair_index: Optional[SpatialIndex] = None
+        self._pair_index_radius: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Epoch handling
@@ -86,6 +121,27 @@ class NeighborCache:
             )
         return self._index
 
+    def _pairs_index(self, radius: float) -> Optional[SpatialIndex]:
+        """A dedicated index for whole-population pair queries.
+
+        Pair generation visits every point's neighbourhood, so (unlike
+        the point queries the shared index serves) it is worth building a
+        second index with half-radius cells: the candidate ring hugs the
+        query disk tighter and the distance filter discards far fewer
+        pairs.  The packed position store is reused from the shared
+        index.  Cell size is a bucketing choice only — the accepted pair
+        set is identical whatever the cells.
+        """
+        shared = self._spatial_index()
+        if shared is None:
+            return None
+        if self._pair_index is None or self._pair_index_radius != radius:
+            self._pair_index = SpatialIndex(max(radius, 1e-9) * 1.001 / 2.0).build(
+                shared.points
+            )
+            self._pair_index_radius = radius
+        return self._pair_index
+
     # ------------------------------------------------------------------
     # Cached queries
     # ------------------------------------------------------------------
@@ -106,6 +162,123 @@ class NeighborCache:
             else:
                 self._table = world.radio.neighbor_table(world.sensors)
         return self._table
+
+    def neighbor_pairs(
+        self, extra_radius: float = 0.0, with_d2: bool = False
+    ):
+        """Directed neighbour pairs as packed index arrays.
+
+        Returns ``(rows, cols)`` (or ``(rows, cols, d2)`` with
+        ``with_d2``): ``cols[k]`` is within communication range — plus
+        ``extra_radius`` — of ``rows[k]``; both are *positions* into
+        ``world.sensors`` (identical to sensor ids for worlds built by
+        :meth:`World.create`), sorted lexicographically by ``(row, col)``.
+        With ``extra_radius=0`` the accepted pair set is exactly the one
+        :meth:`neighbor_table` lists — same index, radius and tolerance —
+        packed flat for array consumers (the batched CPVF kernel) instead
+        of materialising per-sensor Python lists.  A positive
+        ``extra_radius`` inflates the acceptance per sensor to
+        ``rc_i + extra``; the batched repair pass uses it to enumerate
+        parent-change candidates that may have drifted into range since
+        the period started.  An exact-radius request is served by masking
+        an already-cached inflated set (``d2`` is the per-pair squared
+        distance, so the subsets nest exactly).
+        """
+        self._validate()
+        cached = self._pairs.get(extra_radius)
+        if cached is None:
+            # A smaller-radius request nests exactly inside a cached
+            # inflated set (homogeneous-range index path only, where the
+            # acceptance limit is one scalar).
+            larger = [
+                e
+                for e, entry in self._pairs.items()
+                if e > extra_radius and entry[3] is not None
+            ]
+            if larger:
+                rows, cols, d2, limit = self._pairs[min(larger)]
+                new_limit = limit - min(larger) + extra_radius
+                keep = d2 <= new_limit * new_limit
+                cached = (rows[keep], cols[keep], d2[keep], new_limit)
+            else:
+                cached = self._build_pairs(extra_radius)
+            self._pairs[extra_radius] = cached
+        rows, cols, d2, _ = cached
+        if with_d2:
+            return rows, cols, d2
+        return rows, cols
+
+    def _build_pairs(self, extra_radius: float) -> tuple:
+        """Generate one pair set at ``rc + extra_radius`` acceptance."""
+        world = self._world
+        sensors = world.sensors
+        index = self._spatial_index()
+        if index is not None and not world.radio.line_of_sight:
+            rc_list = [s.communication_range for s in sensors]
+            max_range = max(rc_list) + _LINK_EPS + extra_radius
+            pair_index = self._pairs_index(max_range)
+            rows, cols, d2 = pair_index.neighbor_pairs_directed(max_range)
+            if rc_list and min(rc_list) != max(rc_list):
+                rcs = (
+                    np.fromiter(rc_list, dtype=float, count=len(rc_list))
+                    + _LINK_EPS
+                    + extra_radius
+                )
+                keep = d2 <= rcs[rows] * rcs[rows]
+                rows, cols, d2 = rows[keep], cols[keep], d2[keep]
+                # Heterogeneous acceptance: subsets do not nest through
+                # one scalar limit.
+                return rows, cols, d2, None
+            return rows, cols, d2, max_range
+        # Line-of-sight (or index disabled): derive the pairs from the
+        # authoritative table so blocking semantics carry over.  The
+        # inflation is ignored here — candidates beyond the table's reach
+        # are a perf superset, never a correctness requirement.
+        rows, cols, d2 = pairs_from_table(sensors, self._raw_table())
+        return rows, cols, d2, None
+
+    def neighbor_rows(
+        self, sensor_ids: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        """Neighbour lists for a subset of sensors only.
+
+        Produces, for each requested id, the same list
+        :meth:`neighbor_table` would contain for it, but touching only the
+        requested rows — the batched CPVF path uses it to serve its few
+        still-disconnected walkers without materialising the full table.
+        """
+        self._validate()
+        if self._table is not None:
+            return {sid: list(self._table.get(sid, ())) for sid in sensor_ids}
+        world = self._world
+        index = self._spatial_index()
+        if index is None or world.radio.line_of_sight:
+            table = self._raw_table()
+            return {sid: list(table.get(sid, ())) for sid in sensor_ids}
+        sensors = world.sensors
+        out: Dict[int, List[int]] = {}
+        for sid in sensor_ids:
+            sensor = sensors[sid]
+            rc = sensor.communication_range
+            pos = sensor.position
+            candidates = index.query_radius(
+                pos, rc + _LINK_EPS + _QUERY_SLACK
+            )
+            # Accept by *squared* distance, exactly like the indexed
+            # table build — the sqrt-based link predicate can disagree
+            # by one ulp at the range boundary.
+            limit_sq = (rc + _LINK_EPS) ** 2
+            row: List[int] = []
+            for i in candidates.tolist():
+                if i == sid:
+                    continue
+                other = sensors[i].position
+                dx = pos.x - other.x
+                dy = pos.y - other.y
+                if dx * dx + dy * dy <= limit_sq:
+                    row.append(sensors[i].sensor_id)
+            out[sid] = row
+        return out
 
     def base_station_neighbors(self) -> List[int]:
         """Copy of the cached one-hop neighborhood of the base station."""

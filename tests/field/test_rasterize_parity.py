@@ -1,0 +1,138 @@
+"""Parity of the vectorised field paths against their scalar references.
+
+Two fast paths are pinned here:
+
+* polygon obstacle rasterisation (``Field._rasterize_obstacles`` now
+  classifies arbitrary polygons with the vectorised ray-cast of
+  ``Polygon.contains_points``) against the per-point predicate scan;
+* the batched ray query ``Field.max_free_travel_batch`` against the
+  scalar ``Field.max_free_travel``, ray for ray.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.field import Field
+from repro.field.obstacles import Obstacle
+from repro.geometry import Vec2
+
+
+def _polygon_cases():
+    return [
+        (
+            "triangle",
+            Obstacle.from_vertices(
+                [Vec2(20, 20), Vec2(80, 30), Vec2(40, 85)]
+            ),
+        ),
+        (
+            "rotated-square",
+            Obstacle.from_vertices(
+                [Vec2(50, 10), Vec2(90, 50), Vec2(50, 90), Vec2(10, 50)]
+            ),
+        ),
+        (
+            "concave-L",
+            Obstacle.from_vertices(
+                [
+                    Vec2(10, 10),
+                    Vec2(70, 10),
+                    Vec2(70, 30),
+                    Vec2(30, 30),
+                    Vec2(30, 70),
+                    Vec2(10, 70),
+                ]
+            ),
+        ),
+        (
+            "pentagon",
+            Obstacle.from_vertices(
+                [
+                    Vec2(60 + 25 * math.cos(2 * math.pi * k / 5),
+                         60 + 25 * math.sin(2 * math.pi * k / 5))
+                    for k in range(5)
+                ]
+            ),
+        ),
+    ]
+
+
+class TestPolygonRasterizationParity:
+    @pytest.mark.parametrize(
+        "name,obstacle", _polygon_cases(), ids=[c[0] for c in _polygon_cases()]
+    )
+    def test_matches_predicate_scan(self, name, obstacle):
+        field = Field(120.0, 120.0, [obstacle])
+        grid, mask = field.grid_and_obstacle_mask(resolution=3.0)
+        reference = grid.mask_from_predicate(obstacle.contains)
+        assert np.array_equal(mask, reference)
+
+    def test_mixed_rectangles_and_polygons(self):
+        obstacles = [
+            Obstacle.rectangle(5, 5, 25, 40),
+            _polygon_cases()[1][1],
+            _polygon_cases()[2][1],
+        ]
+        field = Field(120.0, 120.0, obstacles)
+        grid, mask = field.grid_and_obstacle_mask(resolution=2.5)
+        reference = grid.mask_from_predicate(
+            lambda p: any(ob.contains(p) for ob in obstacles)
+        )
+        assert np.array_equal(mask, reference)
+
+    def test_contains_points_matches_scalar_randomized(self):
+        rng = np.random.default_rng(11)
+        for _, obstacle in _polygon_cases():
+            px = rng.uniform(0, 120, 400)
+            py = rng.uniform(0, 120, 400)
+            batch = obstacle.contains_points(px, py)
+            scalar = np.array(
+                [obstacle.contains(Vec2(x, y)) for x, y in zip(px, py)]
+            )
+            assert np.array_equal(batch, scalar)
+
+
+class TestMaxFreeTravelBatchParity:
+    def _compare(self, field, rng, rays=300):
+        px = rng.uniform(-5, field.width + 5, rays)
+        py = rng.uniform(-5, field.height + 5, rays)
+        angles = rng.uniform(0, 2 * math.pi, rays)
+        dx, dy = np.cos(angles), np.sin(angles)
+        # Mix zero directions and zero distances into the batch.
+        dx[::17] = 0.0
+        dy[::17] = 0.0
+        dist = rng.uniform(0.0, 50.0, rays)
+        dist[::13] = 0.0
+        batch = field.max_free_travel_batch(px, py, dx, dy, dist)
+        for i in range(rays):
+            scalar = field.max_free_travel(
+                Vec2(px[i], py[i]), Vec2(dx[i], dy[i]), float(dist[i])
+            )
+            assert batch[i] == pytest.approx(scalar, abs=1e-9), (
+                f"ray {i}: batch={batch[i]!r} scalar={scalar!r}"
+            )
+
+    def test_open_field(self):
+        self._compare(Field(200.0, 150.0), np.random.default_rng(3))
+
+    def test_with_rectangle_obstacles(self):
+        field = Field(
+            200.0,
+            150.0,
+            [
+                Obstacle.rectangle(40, 40, 90, 70),
+                Obstacle.rectangle(120, 20, 150, 130),
+            ],
+        )
+        self._compare(field, np.random.default_rng(5))
+
+    def test_with_polygon_obstacle(self):
+        field = Field(
+            120.0,
+            120.0,
+            [_polygon_cases()[1][1]],
+        )
+        self._compare(field, np.random.default_rng(9))
