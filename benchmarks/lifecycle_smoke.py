@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""CI lifecycle smoke: tiny churn timelines against every scheme.
+
+Runs a short mass-failure timeline (a 20% kill at 40% of the horizon) at
+the smoke scale for CPVF, FLOOR and VOR.  The gate is deliberately loose —
+it exists to catch structural breakage (a crash in the injector, the tree
+repair, or a scheme's churn hook; an empty outcome list; zero recovery),
+not to police recovery quality, which the test suite and the
+``lifecycle_recovery`` entry of ``BENCH_perf.json`` already do.
+
+Exit codes: 0 when every scheme survives its churn run with a positive
+coverage recovery, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMES = ("CPVF", "FLOOR", "VOR")
+
+
+def main() -> int:
+    from repro.api import RunSpec, execute_run
+    from repro.experiments import SMOKE_SCALE, make_scenario
+    from repro.experiments.lifecycle import lifecycle_events
+
+    events = lifecycle_events("mass-failure", SMOKE_SCALE)
+    failures = []
+    for scheme in SCHEMES:
+        scenario = make_scenario(SMOKE_SCALE, seed=1, events=events)
+        try:
+            record = execute_run(RunSpec(scenario=scenario, scheme=scheme))
+        except Exception as exc:  # noqa: BLE001 - the gate reports, CI fails
+            print(f"lifecycle-smoke: {scheme} CRASH ({exc!r})")
+            failures.append(scheme)
+            continue
+        if not record.events:
+            print(f"lifecycle-smoke: {scheme} FAIL (no event outcomes)")
+            failures.append(scheme)
+            continue
+        outcome = record.events[0]
+        recovered = outcome.best_coverage - outcome.post_coverage
+        verdict = "ok" if recovered > 0.0 else "FAIL"
+        print(
+            f"lifecycle-smoke: {scheme} {verdict} "
+            f"(pre={outcome.pre_coverage:.3f} post={outcome.post_coverage:.3f} "
+            f"best={outcome.best_coverage:.3f} "
+            f"recovery={outcome.recovery_ratio:.1%})"
+        )
+        if recovered <= 0.0:
+            failures.append(scheme)
+    if failures:
+        print(f"lifecycle-smoke: FAILED for {failures}")
+        return 1
+    print("lifecycle-smoke: all schemes recovered coverage after churn")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,6 +98,15 @@ def _print_results(results: dict) -> None:
             f"{row['gen_ms']:.1f} ms/scenario "
             f"({row['scenarios_per_s']:.0f}/s)"
         )
+    for row in results.get("lifecycle_recovery", ()):
+        ttr = row["time_to_recover"]
+        print(
+            f"lifecycle_recovery {row['scheme']} n={row['n']}: "
+            f"run={row['run_ms']:.0f} ms "
+            f"recovery={row['recovery_ratio']:.1%} "
+            f"t-recover={'-' if ttr is None else ttr} "
+            f"extra={row['extra_distance']:.0f} m"
+        )
 
 
 def main(argv=None) -> int:

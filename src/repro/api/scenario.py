@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..field import Field
 from ..geometry import Vec2
-from ..sim import SimulationConfig, World
+from ..sim import LifecycleEvent, SimulationConfig, World, normalize_events
 from .registry import layout_registry, placement_registry
 
 __all__ = ["Params", "ScenarioSpec", "freeze_params", "thaw_params"]
@@ -97,6 +97,9 @@ class ScenarioSpec:
     oscillation_delta: Optional[float] = None
     #: CPVF oscillation-avoidance rule: "one-step" or "two-step".
     oscillation_mode: str = "one-step"
+    #: Lifecycle event timeline (fault injection); empty = a static run
+    #: that takes exactly the pre-lifecycle code paths.
+    events: Tuple[LifecycleEvent, ...] = ()
 
     def __post_init__(self) -> None:
         # Accept plain dicts at construction time; store frozen tuples.
@@ -104,6 +107,7 @@ class ScenarioSpec:
         object.__setattr__(
             self, "placement_params", freeze_params(self.placement_params)
         )
+        object.__setattr__(self, "events", normalize_events(self.events))
 
     # ------------------------------------------------------------------
     # Builders
@@ -174,6 +178,7 @@ class ScenarioSpec:
         data = dataclasses.asdict(self)
         data["layout_params"] = thaw_params(self.layout_params)
         data["placement_params"] = thaw_params(self.placement_params)
+        data["events"] = [event.to_dict() for event in self.events]
         return data
 
     @staticmethod

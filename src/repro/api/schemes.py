@@ -28,7 +28,14 @@ from ..assignment import minimum_distance_matching
 from ..baselines import MinimaxScheme, OptStripPattern, VorScheme, explode
 from ..core import CPVFScheme, FloorScheme
 from ..metrics import positions_are_connected
+from ..metrics.recovery import RecoveryTracker
 from ..sim import DeploymentScheme, SimulationEngine
+from ..sim.lifecycle import (
+    build_event_obstacle,
+    draw_join_positions,
+    event_rng,
+    select_failure_victims,
+)
 from ..voronoi import diagram_is_correct
 from .registry import register_scheme, scheme_registry
 from .scenario import thaw_params
@@ -117,6 +124,7 @@ class PeriodSchemeAdapter(SchemeAdapter):
             scheme,
             trace_every=spec.trace_every if spec.trace_every else 50,
             keep_world=True,
+            events=scenario.events,
         )
         result = engine.run()
         return RunRecord(
@@ -144,6 +152,7 @@ class PeriodSchemeAdapter(SchemeAdapter):
                 if spec.trace_every
                 else ()
             ),
+            events=tuple(result.events),
             final_positions=(
                 tuple((s.position.x, s.position.y) for s in world.sensors)
                 if spec.keep_positions
@@ -179,6 +188,114 @@ class FloorAdapter(PeriodSchemeAdapter):
 # ----------------------------------------------------------------------
 # Round-based VD baselines (VOR, Minimax) with explosion dispersal
 # ----------------------------------------------------------------------
+def _run_vd_with_events(scenario, scheme, field, exploded, rounds):
+    """Round-segmented VD execution with the scenario's event timeline.
+
+    The VD baselines have no world, tree or messages, so events operate on
+    the raw position list: failures drop entries (their distance is
+    retired, not forgotten), joins append fresh entries, obstacle events
+    mutate the shared field.  Event periods are mapped proportionally onto
+    the round axis, so recovery metrics for VD runs are measured in
+    *rounds* (message burst is always 0 — the baselines are silent).
+
+    Returns ``(positions, total_distance, sensors_ever, rounds_executed,
+    outcomes)``.
+    """
+    max_periods = max(1, scenario.build_config().max_periods)
+    by_round = {}
+    for index, event in enumerate(scenario.events):
+        fire_round = min(
+            rounds - 1,
+            max(0, (event.at_period * rounds) // max_periods),
+        )
+        by_round.setdefault(fire_round, []).append((index, event))
+
+    positions = list(exploded.positions)
+    carried = list(exploded.per_sensor_distance)
+    retired = 0.0
+    sensors_ever = len(positions)
+    trackers = []
+    outcomes = []
+    resolution = scenario.coverage_resolution
+    rounds_executed = 0
+    max_pending = max(by_round, default=-1)
+
+    for round_index in range(rounds):
+        for index, event in by_round.get(round_index, ()):
+            pre_coverage = scheme.coverage(positions, resolution)
+            pre_distance = retired + sum(carried)
+            if event.kind == "failure":
+                rng = event_rng(scenario.seed, index, "failure")
+                victims = select_failure_victims(
+                    rng, event, list(range(len(positions)))
+                )
+                for i in reversed(victims):
+                    retired += carried.pop(i)
+                    positions.pop(i)
+            elif event.kind == "join":
+                rng = event_rng(scenario.seed, index, "join")
+                arrivals = draw_join_positions(field, event, rng)
+                positions.extend(arrivals)
+                carried.extend(0.0 for _ in arrivals)
+                sensors_ever += len(arrivals)
+            elif event.kind == "obstacle":
+                field.add_obstacle(build_event_obstacle(event))
+                for i, pos in enumerate(positions):
+                    if not field.is_free(pos):
+                        escaped = field.nearest_free(pos)
+                        carried[i] += pos.distance_to(escaped)
+                        positions[i] = escaped
+            else:  # clear-obstacle
+                obstacle_index = int(event.param("index", -1))
+                if not 0 <= obstacle_index < len(field.obstacles):
+                    raise ValueError(
+                        f"clear-obstacle index {obstacle_index} out of range"
+                    )
+                field.remove_obstacle(obstacle_index)
+            trackers.append(
+                RecoveryTracker(
+                    at_period=round_index,
+                    kind=event.kind,
+                    pre_coverage=pre_coverage,
+                    post_coverage=scheme.coverage(positions, resolution),
+                    pre_distance=pre_distance,
+                    pre_messages=0,
+                    baseline_window_messages=0,
+                    burst_window=rounds,
+                )
+            )
+
+        step = scheme.run(positions, rounds=1)
+        moved = max(step.per_sensor_distance, default=0.0)
+        positions = list(step.final_positions)
+        for i, distance in enumerate(step.per_sensor_distance):
+            carried[i] += distance
+        rounds_executed = round_index + 1
+
+        if trackers:
+            coverage = scheme.coverage(positions, resolution)
+            total_distance = retired + sum(carried)
+            still_active = []
+            for tracker in trackers:
+                tracker.observe(round_index, coverage, total_distance, 0)
+                if tracker.settled:
+                    outcomes.append(tracker.outcome())
+                else:
+                    still_active.append(tracker)
+            trackers = still_active
+        if moved <= 1e-3 and round_index >= max_pending:
+            break
+
+    outcomes.extend(tracker.outcome() for tracker in trackers)
+    outcomes.sort(key=lambda o: o.at_period)
+    return (
+        positions,
+        retired + sum(carried),
+        sensors_ever,
+        rounds_executed,
+        outcomes,
+    )
+
 class VDSchemeAdapter(SchemeAdapter):
     """Adapter base for the round-based, connectivity-ignorant VD schemes.
 
@@ -209,6 +326,10 @@ class VDSchemeAdapter(SchemeAdapter):
         scheme = self.scheme_class(
             field, scenario.communication_range, scenario.sensing_range
         )
+        if scenario.events:
+            return self._execute_with_events(
+                spec, scenario, scheme, field, exploded, rounds, check_voronoi
+            )
         vd_result = scheme.run(exploded.positions, rounds=rounds)
         per_sensor = [
             explosion + rounds_distance
@@ -241,6 +362,44 @@ class VDSchemeAdapter(SchemeAdapter):
             extras=extras,
             final_positions=(
                 tuple(p.as_tuple() for p in vd_result.final_positions)
+                if spec.keep_positions
+                else None
+            ),
+        )
+
+    def _execute_with_events(
+        self, spec, scenario, scheme, field, exploded, rounds, check_voronoi
+    ) -> RunRecord:
+        (
+            positions,
+            total_distance,
+            sensors_ever,
+            rounds_executed,
+            outcomes,
+        ) = _run_vd_with_events(scenario, scheme, field, exploded, rounds)
+        extras = {}
+        if check_voronoi:
+            vd_check = diagram_is_correct(
+                positions, scenario.communication_range, field
+            )
+            extras["all_voronoi_cells_correct"] = vd_check.all_correct
+        return RunRecord(
+            spec=spec,
+            scheme=self.name,
+            coverage=scheme.coverage(positions, scenario.coverage_resolution),
+            average_moving_distance=(
+                total_distance / sensors_ever if sensors_ever else 0.0
+            ),
+            total_moving_distance=total_distance,
+            total_messages=0,
+            connected=positions_are_connected(
+                positions, scenario.communication_range
+            ),
+            periods_executed=rounds_executed,
+            extras=extras,
+            events=tuple(outcomes),
+            final_positions=(
+                tuple(p.as_tuple() for p in positions)
                 if spec.keep_positions
                 else None
             ),

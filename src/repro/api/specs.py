@@ -22,6 +22,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..metrics.recovery import EventOutcome
 from .scenario import Params, ScenarioSpec, freeze_params, thaw_params
 from .seeds import derive_seed
 
@@ -122,12 +123,15 @@ class RunRecord:
     extras: Params = ()
     #: Per-period metrics trace (populated when ``spec.trace_every`` is set).
     trace: Tuple[TracePoint, ...] = ()
+    #: Recovery metrics, one per lifecycle event the scenario fired.
+    events: Tuple[EventOutcome, ...] = ()
     #: Final ``(x, y)`` positions (populated when ``spec.keep_positions``).
     final_positions: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extras", freeze_params(self.extras))
         object.__setattr__(self, "trace", tuple(self.trace))
+        object.__setattr__(self, "events", tuple(self.events))
         if self.final_positions is not None:
             object.__setattr__(
                 self,
@@ -173,6 +177,7 @@ class RunRecord:
             "converged_at": self.converged_at,
             "extras": thaw_params(self.extras),
             "trace": [point.to_dict() for point in self.trace],
+            "events": [outcome.to_dict() for outcome in self.events],
             "final_positions": (
                 [list(point) for point in self.final_positions]
                 if self.final_positions is not None
@@ -187,6 +192,9 @@ class RunRecord:
         data["spec"] = RunSpec.from_dict(data["spec"])
         data["trace"] = tuple(
             TracePoint.from_dict(point) for point in data.get("trace", ())
+        )
+        data["events"] = tuple(
+            EventOutcome.from_dict(outcome) for outcome in data.get("events", ())
         )
         return RunRecord(**data)
 

@@ -207,7 +207,9 @@ class CPVFScheme(DeploymentScheme):
             # works on packed pair arrays.  Skipping the full per-sensor
             # table dict is a large part of the batched mode's win.
             disconnected = [
-                s.sensor_id for s in world.sensors if not s.is_connected()
+                s.sensor_id
+                for s in world.sensors
+                if s.is_alive() and not s.is_connected()
             ]
             if disconnected:
                 table = world.neighbor_rows(disconnected)
@@ -229,7 +231,7 @@ class CPVFScheme(DeploymentScheme):
         while newly_connected:
             newly_connected = False
             for sensor in world.sensors:
-                if sensor.is_connected():
+                if sensor.is_connected() or not sensor.is_alive():
                     continue
                 parent_id = self._closest_connected_neighbor(world, sensor, table)
                 if parent_id is None:
@@ -265,7 +267,7 @@ class CPVFScheme(DeploymentScheme):
         """Disconnected sensors walk toward the base station (lazily)."""
         assert self._lazy is not None and self._planner is not None
         for sensor in world.sensors:
-            if sensor.is_connected():
+            if sensor.is_connected() or not sensor.is_alive():
                 continue
             neighbors = [
                 world.sensor(n)
@@ -991,6 +993,37 @@ class CPVFScheme(DeploymentScheme):
             world.reparent_in_tree(sensor.sensor_id, best_parent)
             return best_step
         return 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle churn
+    # ------------------------------------------------------------------
+    def on_world_changed(self, world: World, change) -> None:
+        """React to fault-injection events between periods.
+
+        Failures: any lazily-waiting state tied to the dead sensor is
+        dropped.  Sensors the tree repair could not re-attach (and freshly
+        injected sensors) are re-dispatched toward the base station; their
+        BUG2 paths are planned lazily on the next period, so a sensor that
+        finds a connected neighbour immediately never walks.  Obstacle
+        changes invalidate every in-flight path — BUG2 trajectories were
+        planned against the old field and may now cut through (or detour
+        around) geometry that no longer exists.
+        """
+        if self._planner is None or self._lazy is None:
+            return
+        if change.obstacles_changed:
+            for sensor in world.sensors:
+                if sensor.is_alive() and sensor.motion.has_path:
+                    sensor.motion.stop()
+        for sid in change.failed_ids:
+            self._lazy.stop_waiting(world.sensor(sid))
+        for sid in chain(change.disconnected_ids, change.added_ids):
+            sensor = world.sensor(sid)
+            if not sensor.is_alive() or sensor.is_connected():
+                continue
+            sensor.state = SensorState.MOVING_TO_CONNECT
+            self._lazy.stop_waiting(sensor)
+            sensor.motion.stop()
 
     # ------------------------------------------------------------------
     # Convergence

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, List, Optional, Set
 
 from ..field import Field
@@ -229,7 +230,7 @@ class FloorScheme(DeploymentScheme):
         while newly_connected:
             newly_connected = False
             for sensor in world.sensors:
-                if sensor.is_connected():
+                if sensor.is_connected() or not sensor.is_alive():
                     continue
                 parent_id = self._closest_connected_node(
                     world, sensor, table, attach_distance
@@ -279,7 +280,7 @@ class FloorScheme(DeploymentScheme):
     ) -> None:
         assert self._lazy is not None
         for sensor in world.sensors:
-            if sensor.is_connected():
+            if sensor.is_connected() or not sensor.is_alive():
                 continue
             neighbors = [
                 world.sensor(n)
@@ -310,7 +311,9 @@ class FloorScheme(DeploymentScheme):
 
     # -- Phase 2: identifying movable sensors ---------------------------
     def _phase2_should_start(self, world: World) -> bool:
-        all_connected = all(s.is_connected() for s in world.sensors)
+        all_connected = all(
+            s.is_connected() for s in world.sensors if s.is_alive()
+        )
         deadline = int(
             self._phase2_deadline_fraction * world.config.max_periods
         )
@@ -594,6 +597,58 @@ class FloorScheme(DeploymentScheme):
         return True
 
     # ------------------------------------------------------------------
+    # Lifecycle churn
+    # ------------------------------------------------------------------
+    def on_world_changed(self, world: World, change) -> None:
+        """React to fault-injection events between periods.
+
+        A dead sensor is evicted everywhere it is remembered: its floor-
+        registry record (so expansion-point discovery stops treating its
+        disk as covered), its searcher slot, any in-flight relocation (plus
+        the virtual place-holder standing at the target EP) and any lazy
+        path-parent state.  Sensors the tree repair dropped — and freshly
+        injected ones — restart phase 1 as connection walkers.  Obstacle
+        changes re-plan in-flight relocations against the new field right
+        away, because ``_advance_relocations`` reads an empty path as
+        "arrived at the expansion point".
+        """
+        if self._registry is None or self._lazy is None:
+            return
+        for sid in change.failed_ids:
+            sensor = world.sensor(sid)
+            self._lazy.stop_waiting(sensor)
+            self._registry.unregister(sid)
+            self._active_searchers.discard(sid)
+            ep = self._relocations.pop(sid, None)
+            if ep is not None:
+                self._remove_virtual_for(ep)
+        for sid in chain(change.disconnected_ids, change.added_ids):
+            sensor = world.sensor(sid)
+            if not sensor.is_alive() or sensor.is_connected():
+                continue
+            self._registry.unregister(sid)
+            self._active_searchers.discard(sid)
+            ep = self._relocations.pop(sid, None)
+            if ep is not None:
+                self._remove_virtual_for(ep)
+            sensor.state = SensorState.MOVING_TO_CONNECT
+            self._lazy.stop_waiting(sensor)
+            sensor.motion.stop()
+        if change.obstacles_changed:
+            assert self._planner_disperse is not None
+            for sensor in world.sensors:
+                if not sensor.is_alive():
+                    continue
+                ep = self._relocations.get(sensor.sensor_id)
+                if ep is not None:
+                    sensor.motion.follow(
+                        self._planner_disperse.plan(sensor.position, ep.position)
+                    )
+                elif sensor.motion.has_path:
+                    # Connection walks re-plan lazily on the next period.
+                    sensor.motion.stop()
+
+    # ------------------------------------------------------------------
     # Convergence
     # ------------------------------------------------------------------
     def has_converged(self, world: World) -> bool:
@@ -602,6 +657,8 @@ class FloorScheme(DeploymentScheme):
             return False
         if self._relocations:
             return False
-        if any(not s.is_connected() for s in world.sensors):
+        if any(
+            not s.is_connected() for s in world.sensors if s.is_alive()
+        ):
             return False
         return not self._active_searchers

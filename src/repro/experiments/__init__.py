@@ -95,6 +95,14 @@ from .fig13 import (
     summary_fig13,
     sweep_fig13,
 )
+from .lifecycle import (
+    LifecycleRow,
+    format_lifecycle,
+    lifecycle_events,
+    rows_lifecycle,
+    run_lifecycle,
+    sweep_lifecycle,
+)
 from .table1 import (
     Table1Row,
     format_table1,
@@ -172,6 +180,12 @@ __all__ = [
     "rows_table1",
     "run_table1",
     "format_table1",
+    "LifecycleRow",
+    "lifecycle_events",
+    "sweep_lifecycle",
+    "rows_lifecycle",
+    "run_lifecycle",
+    "format_lifecycle",
     # Runner
     "Experiment",
     "EXPERIMENTS",

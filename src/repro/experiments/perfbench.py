@@ -38,6 +38,7 @@ __all__ = [
     "measure_coverage",
     "measure_sweep_throughput",
     "measure_scenario_generation",
+    "measure_lifecycle_recovery",
     "run_perf_suite",
     "PERF_ENTRIES",
 ]
@@ -439,6 +440,53 @@ def measure_scenario_generation(
 
 
 # ----------------------------------------------------------------------
+# Lifecycle recovery (fault injection + tree repair)
+# ----------------------------------------------------------------------
+def measure_lifecycle_recovery(seed: int = 3) -> List[Dict[str, float]]:
+    """Cost and quality of recovering from a 20% mid-run kill.
+
+    Runs the lifecycle suite's acceptance scenario (``mass-failure``: a
+    fifth of the live population dies at 40% of the horizon on the open
+    field) for both connectivity-aware schemes at the bench scale, timing
+    the full run and asserting the robustness contract while measuring —
+    each scheme must climb back to at least 90% of its pre-event coverage
+    by the end of the run.
+    """
+    from ..api import RunSpec, execute_run
+    from .common import BENCH_SCALE
+    from .common import make_scenario as _make_scenario
+    from .lifecycle import lifecycle_events
+
+    events = lifecycle_events("mass-failure", BENCH_SCALE)
+    scenario = _make_scenario(BENCH_SCALE, seed=seed, events=events)
+    rows: List[Dict[str, float]] = []
+    for scheme in ("CPVF", "FLOOR"):
+        start = time.perf_counter()
+        record = execute_run(RunSpec(scenario=scenario, scheme=scheme))
+        elapsed = time.perf_counter() - start
+        outcome = record.events[0]
+        if outcome.recovery_ratio < 0.9:
+            raise AssertionError(
+                f"{scheme} recovered only {outcome.recovery_ratio:.1%} of its "
+                "pre-failure coverage (contract: >= 90%)"
+            )
+        rows.append(
+            {
+                "scheme": scheme,
+                "n": scenario.sensor_count,
+                "run_ms": elapsed * 1000.0,
+                "pre_coverage": outcome.pre_coverage,
+                "post_coverage": outcome.post_coverage,
+                "recovery_ratio": outcome.recovery_ratio,
+                "time_to_recover": outcome.time_to_recover,
+                "extra_distance": outcome.extra_distance,
+                "message_burst": outcome.message_burst,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Full suite
 # ----------------------------------------------------------------------
 #: Default population sizes of the classic (seed-vs-fast) entries and of
@@ -468,6 +516,7 @@ PERF_ENTRIES: Dict[str, Callable] = {
     ],
     "sweep_throughput": lambda ns, seed: [measure_sweep_throughput(seed=seed)],
     "scenario_generation": lambda ns, seed: measure_scenario_generation(),
+    "lifecycle_recovery": lambda ns, seed: measure_lifecycle_recovery(seed=seed),
 }
 
 

@@ -47,6 +47,7 @@ from .fig11 import format_fig11, rows_fig11, sweep_fig11
 from .fig12 import format_fig12, rows_fig12, sweep_fig12
 from .fig13 import format_fig13, summary_fig13, sweep_fig13
 from .gallery import format_gallery, rows_gallery, sweep_gallery
+from .lifecycle import format_lifecycle, rows_lifecycle, sweep_lifecycle
 from .table1 import format_table1, rows_table1, sweep_table1
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "run_experiment_records", "main"]
@@ -111,6 +112,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "gallery",
             lambda scale, seed, trace: sweep_gallery(scale, seed=seed, trace_every=trace),
             lambda records: format_gallery(rows_gallery(records)),
+        ),
+        Experiment(
+            "lifecycle",
+            lambda scale, seed, trace: sweep_lifecycle(scale, seed=seed, trace_every=trace),
+            lambda records: format_lifecycle(rows_lifecycle(records)),
         ),
     )
 }

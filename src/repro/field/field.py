@@ -66,6 +66,28 @@ class Field:
         if self.width <= 0 or self.height <= 0:
             raise ValueError("field dimensions must be positive")
         self._grid_cache: dict[float, Tuple[CoverageGrid, np.ndarray]] = {}
+        #: Bumped on every obstacle mutation; consumers caching rasterised
+        #: masks or visibility answers key their epochs on it.
+        self.version: int = 0
+
+    # ------------------------------------------------------------------
+    # Obstacle mutation (lifecycle events)
+    # ------------------------------------------------------------------
+    def add_obstacle(self, obstacle: Obstacle) -> int:
+        """Append an obstacle mid-run (e.g. a door closing); returns its index."""
+        self.obstacles.append(obstacle)
+        self._invalidate_obstacle_caches()
+        return len(self.obstacles) - 1
+
+    def remove_obstacle(self, index: int) -> Obstacle:
+        """Remove the obstacle at ``index`` (e.g. a door re-opening)."""
+        removed = self.obstacles.pop(index)
+        self._invalidate_obstacle_caches()
+        return removed
+
+    def _invalidate_obstacle_caches(self) -> None:
+        self._grid_cache.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Basic geometry

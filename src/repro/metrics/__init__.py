@@ -8,8 +8,11 @@ from .connectivity import (
 )
 from .coverage import CoverageReport, coverage_fraction, coverage_report
 from .distance import DistanceSummary, summarize_distances, summarize_sensor_distances
+from .recovery import EventOutcome, RecoveryTracker
 
 __all__ = [
+    "EventOutcome",
+    "RecoveryTracker",
     "EmpiricalCDF",
     "connected_components",
     "largest_component_fraction",

@@ -48,6 +48,8 @@ class MessageType(Enum):
     ACKNOWLEDGE = "acknowledge"
     #: FLOOR: location update sent up the tree for a virtual fixed node.
     LOCATION_UPDATE = "location_update"
+    #: Lifecycle: orphan-subtree probe / re-attach traffic after a node dies.
+    TREE_REPAIR = "tree_repair"
 
 
 @dataclass

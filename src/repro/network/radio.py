@@ -164,12 +164,44 @@ class Radio:
         point: Vec2,
         sensors: Iterable[Sensor],
         communication_range: float,
+        index: Optional[SpatialIndex] = None,
     ) -> List[int]:
         """IDs of sensors within ``communication_range`` of a point.
 
         Used for base-station adjacency (the base station is a point, not a
-        :class:`Sensor`).
+        :class:`Sensor`).  Large populations are served through a
+        :class:`~repro.spatial.SpatialIndex` (pass ``index`` to reuse one
+        already built over the *same* sensor sequence); the brute scan
+        below remains the small-``n`` path and the parity reference.
+        Candidate indices are sorted, so the result order matches the
+        brute scan's input order.
         """
+        sensor_list = sensors if isinstance(sensors, list) else list(sensors)
+        if index is None:
+            if not self.use_spatial_index or len(sensor_list) < 8:
+                return self.neighbors_of_point_bruteforce(
+                    point, sensor_list, communication_range
+                )
+            cell = max(communication_range, _LINK_EPS) * 1.001
+            index = SpatialIndex(cell).build(pack_positions(sensor_list))
+        candidates = np.sort(
+            index.query_radius(point, communication_range + 2.0 * _LINK_EPS)
+        )
+        return [
+            sensor_list[i].sensor_id
+            for i in candidates.tolist()
+            if self.link_exists(
+                point, sensor_list[i].position, communication_range
+            )
+        ]
+
+    def neighbors_of_point_bruteforce(
+        self,
+        point: Vec2,
+        sensors: Iterable[Sensor],
+        communication_range: float,
+    ) -> List[int]:
+        """Reference linear scan for :meth:`neighbors_of_point`."""
         result: List[int] = []
         for s in sensors:
             if self.link_exists(point, s.position, communication_range):

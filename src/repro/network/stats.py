@@ -51,6 +51,36 @@ class MessageStats:
             return 0.0
         return self.total() / node_count
 
+    def snapshot(self) -> "MessageStats":
+        """A frozen copy of the current counters.
+
+        Window accounting for burst metrics: take a snapshot at the window
+        start and :meth:`diff` against it at the window end, leaving the
+        global (whole-run) counters untouched.
+        """
+        copy = MessageStats()
+        copy.counts = Counter(self.counts)
+        return copy
+
+    def diff(self, earlier: "MessageStats") -> "MessageStats":
+        """Transmissions recorded since ``earlier`` was snapshotted.
+
+        Computed per type as ``self - earlier``; counters are monotone, so
+        a negative delta means ``earlier`` is not actually an earlier
+        snapshot of this stream.
+        """
+        delta = MessageStats()
+        for message_type, count in self.counts.items():
+            change = count - earlier.counts.get(message_type, 0)
+            if change < 0:
+                raise ValueError(
+                    "diff against a snapshot with higher counts "
+                    f"({message_type})"
+                )
+            if change:
+                delta.counts[message_type] = change
+        return delta
+
     def merge(self, other: "MessageStats") -> "MessageStats":
         """A new stats object combining both operand counters."""
         merged = MessageStats()

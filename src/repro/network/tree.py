@@ -150,6 +150,65 @@ class ConnectivityTree:
         self.version += 1
         return True
 
+    # ------------------------------------------------------------------
+    # Failure repair (node death)
+    # ------------------------------------------------------------------
+    def remove_node(self, node_id: int) -> List[int]:
+        """Remove a dead node entirely; its children become floating roots.
+
+        Each orphaned child keeps its own subtree (children entries intact)
+        but loses its ``parent`` entry, exactly like a
+        ``detach(keep_subtree=True)`` — the caller is expected to re-attach
+        or discard every returned root, since :meth:`validate` rejects
+        floating subtrees.  Returns the orphan roots in ascending id order.
+        """
+        if node_id not in self.parent:
+            return []
+        orphans = sorted(self.children.get(node_id, set()))
+        parent_id = self.parent.pop(node_id)
+        self.children.get(parent_id, set()).discard(node_id)
+        for child in orphans:
+            self.parent.pop(child, None)
+        self.children.pop(node_id, None)
+        self.version += 1
+        return orphans
+
+    def reroot_floating(self, root: int, new_root: int) -> None:
+        """Re-root a floating subtree at one of its members.
+
+        Reverses the parent pointers along the path ``new_root .. root`` so
+        ``new_root`` becomes the subtree's (still floating) root — the
+        repair step before attaching the subtree to the main tree through
+        the member that actually has a live link into it.
+        """
+        if new_root == root:
+            return
+        chain = [new_root]
+        current = new_root
+        while current != root:
+            current = self.parent[current]
+            chain.append(current)
+        for node, old_parent in zip(chain, chain[1:]):
+            self.children.get(old_parent, set()).discard(node)
+            self.parent[old_parent] = node
+            self.children.setdefault(node, set()).add(old_parent)
+        self.parent.pop(new_root, None)
+        self.version += 1
+
+    def discard_floating(self, root: int) -> List[int]:
+        """Remove an unreachable floating subtree from the tree entirely.
+
+        Returns the removed member ids (ascending).  Used when no member of
+        an orphaned subtree has a link back to the main tree: those sensors
+        fall out of the tree and must reconnect from scratch.
+        """
+        members = sorted(self.subtree_of(root))
+        for member in members:
+            self.parent.pop(member, None)
+            self.children.pop(member, None)
+        self.version += 1
+        return members
+
     def would_create_loop(self, node_id: int, new_parent_id: int) -> bool:
         """Whether putting ``node_id`` under ``new_parent_id`` creates a loop."""
         if new_parent_id == node_id:

@@ -102,6 +102,10 @@ class Sensor:
         """Whether the sensor currently belongs to the connectivity tree."""
         return self.state.is_connected()
 
+    def is_alive(self) -> bool:
+        """Whether the sensor is still operational (not FAILED)."""
+        return self.state is not SensorState.FAILED
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Sensor(id={self.sensor_id}, pos={self.position}, "

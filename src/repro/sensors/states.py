@@ -33,6 +33,11 @@ class SensorState(Enum):
     #: FLOOR: movable sensor en route to an accepted expansion point.
     RELOCATING = "relocating"
 
+    #: Permanently dead (battery exhaustion / injected fault).  A failed
+    #: sensor keeps its slot in ``world.sensors`` so sensor ids stay equal
+    #: to list indices, but it no longer senses, moves or relays.
+    FAILED = "failed"
+
     def is_connected(self) -> bool:
         """Whether the state implies membership of the connectivity tree."""
         return self in (

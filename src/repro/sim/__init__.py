@@ -2,6 +2,17 @@
 
 from .config import SimulationConfig
 from .engine import DeploymentScheme, SimulationEngine, SimulationResult, TraceRecord
+from .lifecycle import (
+    EVENT_KINDS,
+    FaultInjector,
+    LifecycleEvent,
+    WorldChange,
+    normalize_events,
+    obstacle_appear,
+    obstacle_clear,
+    sensor_failure,
+    sensor_join,
+)
 from .world import World
 
 __all__ = [
@@ -11,4 +22,13 @@ __all__ = [
     "SimulationResult",
     "TraceRecord",
     "World",
+    "EVENT_KINDS",
+    "FaultInjector",
+    "LifecycleEvent",
+    "WorldChange",
+    "normalize_events",
+    "obstacle_appear",
+    "obstacle_clear",
+    "sensor_failure",
+    "sensor_join",
 ]

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from ..metrics.recovery import EventOutcome
+from .lifecycle import FaultInjector, LifecycleEvent, WorldChange
 from .world import World
 
 __all__ = ["DeploymentScheme", "TraceRecord", "SimulationResult", "SimulationEngine"]
@@ -36,6 +38,15 @@ class DeploymentScheme(abc.ABC):
     def has_converged(self, world: World) -> bool:
         """Whether the layout has stabilised (engines may stop early)."""
         return False
+
+    def on_world_changed(self, world: World, change: WorldChange) -> None:
+        """Hook: a lifecycle event mutated the world between periods.
+
+        Schemes override this to react to churn — re-dispatch sensors the
+        tree repair dropped, evict dead registry entries, invalidate paths
+        crossing a new obstacle.  The default is a no-op: a scheme that
+        only reads the world each period is already churn-safe.
+        """
 
 
 @dataclass(frozen=True)
@@ -62,6 +73,8 @@ class SimulationResult:
     periods_executed: int
     converged_at: Optional[int]
     trace: List[TraceRecord] = field(default_factory=list)
+    #: Recovery metrics, one entry per fired lifecycle event.
+    events: List[EventOutcome] = field(default_factory=list)
     world: Optional[World] = None
 
     def messages_per_node(self) -> float:
@@ -81,12 +94,18 @@ class SimulationEngine:
         trace_every: int = 50,
         stop_on_convergence: bool = True,
         keep_world: bool = True,
+        events: Sequence[LifecycleEvent] = (),
+        recovery_target: float = 0.95,
+        burst_window: int = 25,
     ):
         self._world = world
         self._scheme = scheme
         self._trace_every = max(1, trace_every)
         self._stop_on_convergence = stop_on_convergence
         self._keep_world = keep_world
+        self._events = tuple(events)
+        self._recovery_target = recovery_target
+        self._burst_window = burst_window
 
     @property
     def world(self) -> World:
@@ -102,11 +121,29 @@ class SimulationEngine:
         trace: List[TraceRecord] = []
         converged_at: Optional[int] = None
         max_periods = world.config.max_periods
+        # No timeline, no injector: static runs take the exact pre-lifecycle
+        # period loop (and pay none of the per-period accounting).
+        injector = (
+            FaultInjector(
+                world,
+                scheme,
+                self._events,
+                recovery_target=self._recovery_target,
+                burst_window=self._burst_window,
+            )
+            if self._events
+            else None
+        )
 
         for period in range(max_periods):
             world.period_index = period
+            if injector is not None and injector.fire(period):
+                # The world just changed; any earlier convergence is void.
+                converged_at = None
             scheme.step(world)
             world.time += world.config.period
+            if injector is not None:
+                injector.observe(period)
 
             if (period + 1) % self._trace_every == 0 or period == max_periods - 1:
                 trace.append(
@@ -122,7 +159,9 @@ class SimulationEngine:
             if scheme.has_converged(world):
                 if converged_at is None:
                     converged_at = period + 1
-                if self._stop_on_convergence:
+                if self._stop_on_convergence and (
+                    injector is None or not injector.has_pending(period)
+                ):
                     break
 
         # The last trace record (when one was taken this period) already
@@ -141,6 +180,7 @@ class SimulationEngine:
             periods_executed=world.period_index + 1,
             converged_at=converged_at,
             trace=trace,
+            events=injector.outcomes() if injector is not None else [],
             world=world if self._keep_world else None,
         )
         return result

@@ -12,6 +12,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..field import (
     Field,
     clustered_initial_positions,
@@ -23,6 +25,7 @@ from ..network import (
     BASE_STATION_ID,
     ConnectivityTree,
     MessageStats,
+    MessageType,
     Radio,
     RoutingCostModel,
 )
@@ -47,6 +50,10 @@ class World:
     rng: random.Random
     time: float = 0.0
     period_index: int = 0
+    #: Bumped whenever the *set* of live sensors changes (failure or mid-run
+    #: injection).  Cache epochs include it, so population churn invalidates
+    #: derived structures even when no surviving sensor moved.
+    population_version: int = 0
     #: Fast-path switches; the brute-force implementations remain available
     #: (and are compared against the fast paths by the spatial parity tests).
     use_neighbor_cache: bool = True
@@ -141,6 +148,20 @@ class World:
         """Current positions of all sensors, in id order."""
         return [s.position for s in self.sensors]
 
+    def alive_sensors(self) -> List[Sensor]:
+        """The operational (non-FAILED) sensors, in id order.
+
+        Returns the ``sensors`` list itself while no sensor has failed, so
+        static runs take exactly the pre-lifecycle code paths.
+        """
+        sensors = self.sensors
+        alive = [s for s in sensors if s.state is not SensorState.FAILED]
+        return sensors if len(alive) == len(sensors) else alive
+
+    def alive_count(self) -> int:
+        """Number of operational sensors."""
+        return sum(1 for s in self.sensors if s.state is not SensorState.FAILED)
+
     def _cache(self) -> NeighborCache:
         if self._neighbor_cache is None:
             self._neighbor_cache = NeighborCache(self)
@@ -150,7 +171,7 @@ class World:
         """Current neighbour lists (ids within communication range)."""
         if self.use_neighbor_cache:
             return self._cache().neighbor_table()
-        return self.radio.neighbor_table(self.sensors)
+        return self.radio.neighbor_table(self.alive_sensors())
 
     def neighbor_pairs(self, extra_radius: float = 0.0, with_d2: bool = False):
         """Directed neighbour pairs ``(rows, cols[, d2])`` as index arrays.
@@ -164,9 +185,19 @@ class World:
             return self._cache().neighbor_pairs(extra_radius, with_d2)
         from ..spatial.cache import pairs_from_table
 
+        alive = self.alive_sensors()
         rows, cols, d2 = pairs_from_table(
-            self.sensors, self.radio.neighbor_table(self.sensors)
+            alive, self.radio.neighbor_table(alive)
         )
+        if len(alive) != len(self.sensors):
+            # pairs_from_table emits positions into the alive subset; the
+            # batched kernel indexes whole-population arrays, so remap to
+            # full-list indices (== sensor ids).
+            ids = np.fromiter(
+                (s.sensor_id for s in alive), dtype=np.intp, count=len(alive)
+            )
+            rows = ids[rows]
+            cols = ids[cols]
         if with_d2:
             return rows, cols, d2
         return rows, cols
@@ -178,7 +209,7 @@ class World:
         """
         if self.use_neighbor_cache:
             return self._cache().neighbor_rows(sensor_ids)
-        table = self.radio.neighbor_table(self.sensors)
+        table = self.radio.neighbor_table(self.alive_sensors())
         return {sid: list(table.get(sid, ())) for sid in sensor_ids}
 
     def sensors_near_base_station(self) -> List[int]:
@@ -186,7 +217,7 @@ class World:
         if self.use_neighbor_cache:
             return self._cache().base_station_neighbors()
         return self.radio.neighbors_of_point(
-            self.base_station, self.sensors, self.config.communication_range
+            self.base_station, self.alive_sensors(), self.config.communication_range
         )
 
     def connected_component_of(self) -> Set[int]:
@@ -194,7 +225,7 @@ class World:
         if self.use_neighbor_cache:
             return self._cache().connected_component()
         return self.radio.connected_component_of(
-            self.sensors, self.base_station, self.config.communication_range
+            self.alive_sensors(), self.base_station, self.config.communication_range
         )
 
     def connected_sensor_ids(self) -> List[int]:
@@ -211,9 +242,10 @@ class World:
         that moved since the previous call; the result is identical to the
         brute-force ``Field.coverage_fraction`` scan.
         """
+        alive = self.alive_sensors()
         if not self.use_incremental_coverage:
             return self.field.coverage_fraction(
-                self.positions(),
+                [s.position for s in alive],
                 self.config.sensing_range,
                 self.config.coverage_resolution,
             )
@@ -222,15 +254,15 @@ class World:
         if tracker is None:
             tracker = IncrementalCoverage(self.field, key[0], key[1])
             self._coverage_trackers[key] = tracker
-        tracker.update([(s.position.x, s.position.y) for s in self.sensors])
+        tracker.update([(s.position.x, s.position.y) for s in alive])
         return tracker.covered_fraction()
 
     def network_is_connected(self) -> bool:
-        """Whether every sensor has a multi-hop route to the base station."""
+        """Whether every live sensor has a multi-hop route to the base station."""
         if self.use_neighbor_cache:
-            return len(self.connected_component_of()) == len(self.sensors)
+            return len(self.connected_component_of()) == self.alive_count()
         return self.radio.network_is_connected(
-            self.sensors, self.base_station, self.config.communication_range
+            self.alive_sensors(), self.base_station, self.config.communication_range
         )
 
     def total_moving_distance(self) -> float:
@@ -286,4 +318,151 @@ class World:
             self.sensor(old_parent).children.discard(sensor_id)
         if new_parent_id != BASE_STATION_ID:
             self.sensor(new_parent_id).children.add(sensor_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Population churn (fault injection)
+    # ------------------------------------------------------------------
+    def add_sensor(self, position: Vec2) -> Sensor:
+        """Inject a new (disconnected) sensor at ``position``.
+
+        The sensor is appended so its id equals its list index, preserving
+        the id-as-index invariant every fast path relies on.  The position
+        is clamped to the field and pushed out of obstacles.
+        """
+        pos = self.field.nearest_free(self.field.clamp(position))
+        sensor = Sensor(
+            sensor_id=len(self.sensors),
+            motion=MotionModel(
+                position=pos,
+                max_speed=self.config.max_speed,
+                period=self.config.period,
+            ),
+            communication_range=self.config.communication_range,
+            sensing_range=self.config.sensing_range,
+        )
+        self.sensors.append(sensor)
+        self.population_version += 1
+        if self._neighbor_cache is not None:
+            self._neighbor_cache.invalidate()
+        return sensor
+
+    def remove_sensor(self, sensor_id: int) -> List[int]:
+        """Mark a sensor FAILED and repair the connectivity tree around it.
+
+        The dead sensor keeps its slot in ``sensors`` (ids stay equal to
+        indices) but leaves the tree; each orphaned subtree is re-rooted at
+        a member with a live link back to the remaining tree (or to the
+        base station) and re-attached there.  Subtrees with no such link
+        fall out of the tree entirely — their members revert to
+        DISCONNECTED and are returned so the scheme can send them walking
+        again.
+        """
+        sensor = self.sensor(sensor_id)
+        if sensor.state is SensorState.FAILED:
+            return []
+        sensor.motion.stop()
+        sensor.state = SensorState.FAILED
+        sensor.path_parent_id = None
+        sensor.idle_periods = 0
+        self.population_version += 1
+        if self._neighbor_cache is not None:
+            self._neighbor_cache.invalidate()
+        disconnected = self._repair_tree_after_failure(sensor_id)
+        sensor.parent_id = None
+        sensor.children = set()
+        sensor.ancestors = []
+        return disconnected
+
+    def notify_field_changed(self) -> None:
+        """Invalidate structures derived from the field's obstacle set.
+
+        Call after mutating ``field.obstacles`` (lifecycle obstacle
+        events): coverage trackers rasterised the old obstacle mask and
+        the neighbour cache may hold line-of-sight answers.
+        """
+        self._coverage_trackers.clear()
+        if self._neighbor_cache is not None:
+            self._neighbor_cache.invalidate()
+
+    def _repair_tree_after_failure(self, sensor_id: int) -> List[int]:
+        """Re-attach (or drop) the subtrees orphaned by a node death."""
+        tree = self.tree
+        if sensor_id not in tree.parent:
+            return []
+        parent_id = tree.parent_of(sensor_id)
+        orphan_roots = tree.remove_node(sensor_id)
+        if parent_id is not None and parent_id != BASE_STATION_ID:
+            self.sensor(parent_id).children.discard(sensor_id)
+        if not orphan_roots:
+            return []
+        anchored = tree.subtree_of(BASE_STATION_ID)
+        dropped: List[int] = []
+        pending = list(orphan_roots)
+        progress = True
+        # An orphan subtree may only reach the main tree through another
+        # orphan that re-attaches first, so iterate to a fixpoint.
+        while pending and progress:
+            progress = False
+            remaining: List[int] = []
+            for root in pending:
+                if self._reattach_orphan_subtree(root, anchored):
+                    progress = True
+                else:
+                    remaining.append(root)
+            pending = remaining
+        for root in pending:
+            members = tree.discard_floating(root)
+            for member_id in members:
+                member = self.sensor(member_id)
+                member.state = SensorState.DISCONNECTED
+                member.parent_id = None
+                member.children = set()
+                member.ancestors = []
+            dropped.extend(members)
+        return sorted(dropped)
+
+    def _reattach_orphan_subtree(self, root: int, anchored: Set[int]) -> bool:
+        """Try to re-attach one floating subtree to the anchored tree.
+
+        Every subtree member probes its neighbourhood (one TREE_REPAIR
+        transmission each); the member with the shortest live link to an
+        anchored node becomes the subtree's new root and attaches there.
+        On success ``anchored`` is extended with the subtree's members.
+        """
+        tree = self.tree
+        members = sorted(tree.subtree_of(root))
+        member_set = set(members)
+        rows = self.neighbor_rows(members)
+        self.stats.record_transmissions(MessageType.TREE_REPAIR, len(members))
+        best: Optional[Tuple[float, int, int]] = None
+        rc = self.config.communication_range
+        for member_id in members:
+            pos = self.sensor(member_id).position
+            base_distance = pos.distance_to(self.base_station)
+            if self.radio.link_exists(pos, self.base_station, rc):
+                candidate = (base_distance, member_id, BASE_STATION_ID)
+                if best is None or candidate < best:
+                    best = candidate
+            for neighbor_id in rows.get(member_id, ()):
+                if neighbor_id in member_set or neighbor_id not in anchored:
+                    continue
+                distance = pos.distance_to(self.sensor(neighbor_id).position)
+                candidate = (distance, member_id, neighbor_id)
+                if best is None or candidate < best:
+                    best = candidate
+        if best is None:
+            return False
+        _, new_root, anchor_id = best
+        tree.reroot_floating(root, new_root)
+        tree.attach(new_root, anchor_id)
+        # New root announcement + attach request.
+        self.stats.record_transmissions(MessageType.TREE_REPAIR, 2)
+        for member_id in members:
+            member = self.sensor(member_id)
+            member.set_parent(tree.parent_of(member_id), tree.ancestors_of(member_id))
+            member.children = tree.children_of(member_id)
+        if anchor_id != BASE_STATION_ID:
+            self.sensor(anchor_id).children.add(new_root)
+        anchored.update(member_set)
         return True

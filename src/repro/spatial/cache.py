@@ -79,6 +79,14 @@ class NeighborCache:
         self._pairs: Dict[float, tuple] = {}
         self._pair_index: Optional[SpatialIndex] = None
         self._pair_index_radius: Optional[float] = None
+        self._alive: Optional[list] = None
+
+    def _alive_sensors(self) -> list:
+        """Live sensors for the current epoch (``world.sensors`` itself
+        while the population is intact, so static runs are untouched)."""
+        if self._alive is None:
+            self._alive = self._world.alive_sensors()
+        return self._alive
 
     # ------------------------------------------------------------------
     # Epoch handling
@@ -88,9 +96,14 @@ class NeighborCache:
         # Position versions carry the per-period invalidation; the radio
         # parameters (per-sensor ranges, line-of-sight flag) are included so
         # a mid-run mutation cannot serve a stale table.
+        # population_version covers churn (a failure flips aliveness
+        # without touching any position_version; an injection changes the
+        # tuple length too, but only the version captures removal).
         epoch = (
             world.radio.line_of_sight,
             world.config.communication_range,
+            world.population_version,
+            world.field.version,
             tuple(
                 (s.motion.position_version, s.communication_range)
                 for s in world.sensors
@@ -111,13 +124,14 @@ class NeighborCache:
     def _spatial_index(self) -> Optional[SpatialIndex]:
         """The shared index for the current epoch (``None`` when unusable)."""
         world = self._world
-        if not world.radio.use_spatial_index or len(world.sensors) < 2:
+        sensors = self._alive_sensors()
+        if not world.radio.use_spatial_index or len(sensors) < 2:
             return None
         if self._index is None:
-            max_range = max(s.communication_range for s in world.sensors)
+            max_range = max(s.communication_range for s in sensors)
             max_range = max(max_range, world.config.communication_range, 1e-9)
             self._index = SpatialIndex(max_range * 1.001).build(
-                pack_positions(world.sensors)
+                pack_positions(sensors)
             )
         return self._index
 
@@ -154,13 +168,14 @@ class NeighborCache:
     def _raw_table(self) -> Dict[int, List[int]]:
         if self._table is None:
             world = self._world
+            sensors = self._alive_sensors()
             index = self._spatial_index()
             if index is not None:
                 self._table = world.radio.neighbor_table_indexed(
-                    world.sensors, index
+                    sensors, index
                 )
             else:
-                self._table = world.radio.neighbor_table(world.sensors)
+                self._table = world.radio.neighbor_table(sensors)
         return self._table
 
     def neighbor_pairs(
@@ -211,7 +226,7 @@ class NeighborCache:
     def _build_pairs(self, extra_radius: float) -> tuple:
         """Generate one pair set at ``rc + extra_radius`` acceptance."""
         world = self._world
-        sensors = world.sensors
+        sensors = self._alive_sensors()
         index = self._spatial_index()
         if index is not None and not world.radio.line_of_sight:
             rc_list = [s.communication_range for s in sensors]
@@ -228,14 +243,29 @@ class NeighborCache:
                 rows, cols, d2 = rows[keep], cols[keep], d2[keep]
                 # Heterogeneous acceptance: subsets do not nest through
                 # one scalar limit.
-                return rows, cols, d2, None
+                return (*self._remap_pairs(sensors, rows, cols), d2, None)
+            rows, cols = self._remap_pairs(sensors, rows, cols)
             return rows, cols, d2, max_range
         # Line-of-sight (or index disabled): derive the pairs from the
         # authoritative table so blocking semantics carry over.  The
         # inflation is ignored here — candidates beyond the table's reach
         # are a perf superset, never a correctness requirement.
         rows, cols, d2 = pairs_from_table(sensors, self._raw_table())
+        rows, cols = self._remap_pairs(sensors, rows, cols)
         return rows, cols, d2, None
+
+    def _remap_pairs(self, sensors, rows, cols) -> tuple:
+        """Map alive-subset positions back to full-list indices (= ids).
+
+        Identity while the population is intact — ``sensors`` is then the
+        whole list, so positional indices already equal sensor ids.
+        """
+        if len(sensors) == len(self._world.sensors):
+            return rows, cols
+        ids = np.fromiter(
+            (s.sensor_id for s in sensors), dtype=np.intp, count=len(sensors)
+        )
+        return ids[rows], ids[cols]
 
     def neighbor_rows(
         self, sensor_ids: Sequence[int]
@@ -255,10 +285,15 @@ class NeighborCache:
         if index is None or world.radio.line_of_sight:
             table = self._raw_table()
             return {sid: list(table.get(sid, ())) for sid in sensor_ids}
-        sensors = world.sensors
+        # The shared index is built over the *alive* subset; candidate
+        # indices are positions into that subset, not sensor ids.
+        alive = self._alive_sensors()
         out: Dict[int, List[int]] = {}
         for sid in sensor_ids:
-            sensor = sensors[sid]
+            sensor = world.sensors[sid]
+            if not sensor.is_alive():
+                out[sid] = []
+                continue
             rc = sensor.communication_range
             pos = sensor.position
             candidates = index.query_radius(
@@ -270,13 +305,13 @@ class NeighborCache:
             limit_sq = (rc + _LINK_EPS) ** 2
             row: List[int] = []
             for i in candidates.tolist():
-                if i == sid:
+                other = alive[i]
+                if other.sensor_id == sid:
                     continue
-                other = sensors[i].position
-                dx = pos.x - other.x
-                dy = pos.y - other.y
+                dx = pos.x - other.position.x
+                dy = pos.y - other.position.y
                 if dx * dx + dy * dy <= limit_sq:
-                    row.append(sensors[i].sensor_id)
+                    row.append(other.sensor_id)
             out[sid] = row
         return out
 
@@ -290,17 +325,18 @@ class NeighborCache:
             world = self._world
             base = world.base_station
             rc = world.config.communication_range
+            sensors = self._alive_sensors()
             index = self._spatial_index()
             if index is None:
                 self._base_neighbors = world.radio.neighbors_of_point(
-                    base, world.sensors, rc
+                    base, sensors, rc
                 )
             else:
                 candidates = index.query_radius(base, rc + 2.0 * _QUERY_SLACK)
                 self._base_neighbors = [
-                    world.sensors[i].sensor_id
+                    sensors[i].sensor_id
                     for i in candidates.tolist()
-                    if world.radio.link_exists(base, world.sensors[i].position, rc)
+                    if world.radio.link_exists(base, sensors[i].position, rc)
                 ]
         return self._base_neighbors
 
@@ -310,7 +346,7 @@ class NeighborCache:
         if self._component is None:
             world = self._world
             self._component = world.radio.connected_component_of(
-                world.sensors,
+                self._alive_sensors(),
                 world.base_station,
                 world.config.communication_range,
                 table=self._raw_table(),

@@ -1,0 +1,77 @@
+"""Scenario/record serialization of lifecycle event timelines."""
+
+from repro.api import RunRecord, RunSpec, ScenarioSpec
+from repro.metrics import EventOutcome
+from repro.sim import LifecycleEvent, sensor_failure, sensor_join
+
+
+def test_scenario_spec_normalizes_and_round_trips_events():
+    spec = ScenarioSpec(
+        sensor_count=20,
+        events=[
+            sensor_failure(at_period=10, fraction=0.2),
+            sensor_join(at_period=20, count=3).to_dict(),  # dicts accepted too
+        ],
+    )
+    assert all(isinstance(e, LifecycleEvent) for e in spec.events)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_scenario_spec_defaults_to_empty_timeline():
+    spec = ScenarioSpec(sensor_count=10)
+    assert spec.events == ()
+    # Back-compat: dicts persisted before the events field load fine.
+    data = spec.to_dict()
+    del data["events"]
+    assert ScenarioSpec.from_dict(data) == spec
+
+
+def test_event_timeline_survives_replace():
+    spec = ScenarioSpec(events=[sensor_failure(at_period=5, count=2)])
+    bigger = spec.replace(sensor_count=99)
+    assert bigger.events == spec.events
+    assert bigger.sensor_count == 99
+
+
+def test_run_record_round_trips_outcomes():
+    outcome = EventOutcome(
+        at_period=12,
+        kind="failure",
+        pre_coverage=0.8,
+        post_coverage=0.6,
+        best_coverage=0.79,
+        final_coverage=0.78,
+        recovery_ratio=0.9875,
+        recovery_target=0.95,
+        time_to_recover=9,
+        extra_distance=123.5,
+        message_burst=42,
+    )
+    record = RunRecord(
+        spec=RunSpec(scenario=ScenarioSpec(sensor_count=8)),
+        scheme="CPVF",
+        coverage=0.78,
+        average_moving_distance=10.0,
+        total_moving_distance=80.0,
+        total_messages=100,
+        connected=True,
+        events=(outcome,),
+    )
+    rebuilt = RunRecord.from_dict(record.to_dict())
+    assert rebuilt == record
+    assert rebuilt.events[0].time_to_recover == 9
+
+
+def test_run_record_back_compat_without_events_key():
+    record = RunRecord(
+        spec=RunSpec(scenario=ScenarioSpec(sensor_count=8)),
+        scheme="CPVF",
+        coverage=0.5,
+        average_moving_distance=1.0,
+        total_moving_distance=8.0,
+        total_messages=10,
+        connected=True,
+    )
+    data = record.to_dict()
+    del data["events"]
+    assert RunRecord.from_dict(data) == record

@@ -147,6 +147,7 @@ class TestRunner:
             "fig13",
             "table1",
             "gallery",
+            "lifecycle",
         }
 
     def test_unknown_experiment_rejected(self):

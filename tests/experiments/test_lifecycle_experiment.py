@@ -1,0 +1,128 @@
+"""Tests for the lifecycle experiment suite (fault-injection robustness)."""
+
+import pytest
+
+from repro.api import RunRecord, RunSpec, SweepRunner, execute_run
+from repro.experiments import SMOKE_SCALE, make_scenario
+from repro.experiments.lifecycle import (
+    DEFAULT_LIFECYCLE_SCHEMES,
+    LIFECYCLE_SCRIPTS,
+    format_lifecycle,
+    lifecycle_events,
+    rows_lifecycle,
+    sweep_lifecycle,
+)
+
+
+class TestSweepStructure:
+    def test_four_curated_scripts(self):
+        assert set(LIFECYCLE_SCRIPTS) == {
+            "mass-failure",
+            "interior-cascade",
+            "reinforcements",
+            "door-slam",
+        }
+
+    def test_every_script_builds_a_nonempty_timeline(self):
+        for script in LIFECYCLE_SCRIPTS:
+            events = lifecycle_events(script, SMOKE_SCALE)
+            assert events
+            horizon = int(SMOKE_SCALE.duration)
+            assert all(0 < e.at_period < horizon for e in events)
+
+    def test_unknown_script_rejected(self):
+        with pytest.raises(KeyError):
+            lifecycle_events("volcano", SMOKE_SCALE)
+
+    def test_sweep_crosses_scripts_schemes_and_reps(self):
+        sweep = sweep_lifecycle(SMOKE_SCALE)
+        reps = min(SMOKE_SCALE.repetitions, 4)
+        assert len(sweep.runs) == len(LIFECYCLE_SCRIPTS) * len(
+            DEFAULT_LIFECYCLE_SCHEMES
+        ) * reps
+        for run in sweep.runs:
+            assert run.scenario.events, "every lifecycle run carries events"
+            assert run.tag("script") in LIFECYCLE_SCRIPTS
+
+    def test_repetitions_use_distinct_derived_seeds(self):
+        sweep = sweep_lifecycle(SMOKE_SCALE, scripts=["mass-failure"])
+        seeds = {run.scenario.seed for run in sweep.runs}
+        reps = min(SMOKE_SCALE.repetitions, 4)
+        assert len(seeds) == reps
+
+
+class TestExecution:
+    def test_records_round_trip_with_events(self):
+        scenario = make_scenario(
+            SMOKE_SCALE,
+            seed=3,
+            events=lifecycle_events("mass-failure", SMOKE_SCALE),
+        )
+        record = execute_run(RunSpec(scenario=scenario, scheme="CPVF"))
+        assert len(record.events) == 1
+        rebuilt = RunRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
+    def test_same_spec_runs_identically(self):
+        scenario = make_scenario(
+            SMOKE_SCALE,
+            seed=5,
+            events=lifecycle_events("interior-cascade", SMOKE_SCALE),
+        )
+        spec = RunSpec(scenario=scenario, scheme="CPVF")
+        assert execute_run(spec) == execute_run(spec)
+
+    def test_serial_and_sharded_sweeps_agree(self):
+        sweep = sweep_lifecycle(
+            SMOKE_SCALE, schemes=("CPVF", "VOR"), scripts=["reinforcements"]
+        )
+        serial = SweepRunner(jobs=1).run(sweep)
+        sharded = SweepRunner(jobs=2).run(sweep)
+        assert serial == sharded
+
+    @pytest.mark.parametrize("scheme", ["CPVF", "FLOOR"])
+    def test_mass_failure_recovery_contract(self, scheme):
+        """The acceptance scenario: a 20% kill recovers >= 90% coverage."""
+        scenario = make_scenario(
+            SMOKE_SCALE,
+            seed=1,
+            events=lifecycle_events("mass-failure", SMOKE_SCALE),
+        )
+        record = execute_run(RunSpec(scenario=scenario, scheme=scheme))
+        outcome = record.events[0]
+        assert outcome.kind == "failure"
+        assert outcome.pre_coverage > 0.0
+        assert outcome.recovery_ratio >= 0.9
+
+    def test_vor_baseline_reports_outcomes_too(self):
+        scenario = make_scenario(
+            SMOKE_SCALE,
+            seed=2,
+            events=lifecycle_events("door-slam", SMOKE_SCALE),
+        )
+        record = execute_run(RunSpec(scenario=scenario, scheme="VOR"))
+        assert len(record.events) == 2
+        assert [o.kind for o in record.events] == ["obstacle", "clear-obstacle"]
+        # VOR has no protocol messages; bursts are structurally zero.
+        assert all(o.message_burst == 0 for o in record.events)
+
+
+class TestPresentation:
+    def test_rows_aggregate_per_script_and_scheme(self):
+        sweep = sweep_lifecycle(
+            SMOKE_SCALE, schemes=("CPVF",), scripts=["mass-failure"]
+        )
+        records = SweepRunner(jobs=1).run(sweep)
+        rows = rows_lifecycle(records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.script == "mass-failure"
+        assert row.scheme == "CPVF"
+        assert row.events_per_run == 1
+        assert 0.0 <= row.coverage <= 1.0
+        assert row.recovery_ratio > 0.0
+
+        report = format_lifecycle(rows)
+        assert "mass-failure" in report
+        assert "CPVF" in report
+        assert "recovery" in report

@@ -1,0 +1,158 @@
+"""Property-based tests for tree repair: remove_node / reroot / discard."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network import BASE_STATION_ID, ConnectivityTree
+
+
+def build_random_tree(rng, node_count):
+    tree = ConnectivityTree()
+    members = []
+    for node_id in range(node_count):
+        parent = (
+            BASE_STATION_ID
+            if not members
+            else rng.choice(members + [BASE_STATION_ID])
+        )
+        tree.attach(node_id, parent)
+        members.append(node_id)
+    return tree, members
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2, max_value=25),
+)
+def test_remove_node_returns_exactly_the_orphan_roots(seed, node_count):
+    rng = random.Random(seed)
+    tree, members = build_random_tree(rng, node_count)
+    victim = rng.choice(members)
+    expected_orphans = sorted(tree.children_of(victim))
+    version_before = tree.version
+
+    orphans = tree.remove_node(victim)
+
+    assert orphans == expected_orphans
+    assert tree.version > version_before
+    assert victim not in tree
+    # Each orphan root is now parentless but keeps its own subtree intact.
+    for root in orphans:
+        assert tree.parent_of(root) is None
+        for member in tree.subtree_of(root):
+            if member != root:
+                assert tree.parent_of(member) is not None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=3, max_value=25),
+)
+def test_remove_then_reattach_restores_a_valid_single_tree(seed, node_count):
+    """Kill a node, re-anchor every floating subtree: the invariants hold."""
+    rng = random.Random(seed)
+    tree, members = build_random_tree(rng, node_count)
+    victim = rng.choice(members)
+    survivors = [m for m in members if m != victim]
+
+    orphans = tree.remove_node(victim)
+    anchored = tree.subtree_of(BASE_STATION_ID)
+    for root in orphans:
+        floating = sorted(tree.subtree_of(root))
+        # Re-anchor through an arbitrary member of the floating subtree —
+        # the world picks by link distance; any member is structurally legal.
+        new_root = rng.choice(floating)
+        anchor = rng.choice(sorted(anchored)) if rng.random() < 0.5 else BASE_STATION_ID
+        tree.reroot_floating(root, new_root)
+        tree.attach(new_root, anchor)
+        anchored.update(floating)
+
+    tree.validate()
+    # Single tree: every survivor hangs off the base station again.
+    assert set(tree.members()) == set(survivors)
+    for node in survivors:
+        ancestors = tree.ancestors_of(node)
+        assert ancestors[-1] == BASE_STATION_ID
+        assert victim not in ancestors
+        # Depths consistent with the parent chain (no cycles).
+        assert tree.depth_of(node) == len(ancestors)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=3, max_value=25),
+)
+def test_reroot_floating_preserves_membership_and_reverses_chain(
+    seed, node_count
+):
+    rng = random.Random(seed)
+    tree, members = build_random_tree(rng, node_count)
+    victim = rng.choice(members)
+    orphans = tree.remove_node(victim)
+    for root in orphans:
+        floating = tree.subtree_of(root)
+        new_root = rng.choice(sorted(floating))
+        tree.reroot_floating(root, new_root)
+        # Same members, now rooted (parentless) at new_root.
+        assert tree.subtree_of(new_root) == floating
+        assert tree.parent_of(new_root) is None
+        # The old root now reaches new_root by walking up.
+        current, seen = root, set()
+        while tree.parent_of(current) is not None:
+            assert current not in seen, "cycle after reroot"
+            seen.add(current)
+            current = tree.parent_of(current)
+        assert current == new_root
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=2, max_value=25),
+)
+def test_discard_floating_removes_whole_subtree(seed, node_count):
+    rng = random.Random(seed)
+    tree, members = build_random_tree(rng, node_count)
+    victim = rng.choice(members)
+    orphans = tree.remove_node(victim)
+    remaining = set(tree.subtree_of(BASE_STATION_ID)) - {BASE_STATION_ID}
+    for root in orphans:
+        expected = sorted(tree.subtree_of(root))
+        version_before = tree.version
+        dropped = tree.discard_floating(root)
+        assert dropped == expected
+        assert tree.version > version_before
+        for member in expected:
+            assert member not in tree
+    tree.validate()
+    assert set(tree.members()) == remaining
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=4, max_value=20),
+    st.integers(min_value=2, max_value=5),
+)
+def test_repeated_removals_never_corrupt_the_tree(seed, node_count, kills):
+    """Arbitrary kill sequences (discarding all orphans) keep validity."""
+    rng = random.Random(seed)
+    tree, members = build_random_tree(rng, node_count)
+    alive = list(members)
+    for _ in range(kills):
+        candidates = [m for m in alive if m in tree]
+        if not candidates:
+            break
+        victim = rng.choice(candidates)
+        orphans = tree.remove_node(victim)
+        alive.remove(victim)
+        for root in orphans:
+            for member in tree.discard_floating(root):
+                if member in alive:
+                    alive.remove(member)
+        tree.validate()
+        assert set(tree.members()) == set(alive) & set(tree.members())
