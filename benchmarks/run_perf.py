@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -92,6 +93,16 @@ def _print_results(results: dict) -> None:
             f"serial={row['seed_ms']:.0f} ms jobs={row['jobs']}"
             f"={row['fast_ms']:.0f} ms ({row['speedup']:.1f}x)"
         )
+    for row in results.get("sweep_service", ()):
+        print(
+            f"sweep_service clients={row['clients']} "
+            f"cells={row['cells_requested']} "
+            f"(unique={row['unique_cells']}): "
+            f"cold={row['cold_runs_per_s']:.1f} runs/s "
+            f"(hit rate {row['cold_hit_rate']:.0%}) "
+            f"warm={row['warm_runs_per_s']:.1f} runs/s "
+            f"(hit rate {row['warm_hit_rate']:.0%})"
+        )
     for row in results.get("scenario_generation", ()):
         print(
             f"scenario_generation {row['layout']} @ {row['size']:.0f} m: "
@@ -148,6 +159,14 @@ def main(argv=None) -> int:
         results = merged
     results["python"] = platform.python_version()
     results["machine"] = platform.machine()
+    # Host metadata: timings are only comparable across PRs measured on
+    # the same class of machine, so pin what the numbers were taken on.
+    results["host"] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
     OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
     _print_results(results)

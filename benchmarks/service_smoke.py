@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""CI service smoke: concurrent dedup, kill/resume, and store GC.
+
+Three gates over the async sweep service (``repro.service``), each an
+end-to-end property the unit tests can only approximate:
+
+1. **Concurrent dedup** — two overlapping mini-sweeps submitted to one
+   service must compute their shared cells exactly once (the in-flight
+   dedup contract) and return records identical to ``SweepRunner(jobs=1)``.
+2. **Kill / resume** — a ``python -m repro.service submit`` subprocess is
+   SIGKILLed mid-sweep, leaving a genuinely partial store (the
+   write-through guarantee); resubmitting the same sweep must recompute
+   only the missing cells.
+3. **Store GC** — entries under a stale schema version and orphaned
+   ``.tmp`` files are reclaimed while every current entry survives.
+
+Exit codes: 0 when all three gates hold, 1 otherwise.  See
+``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Per-cell workload of the kill/resume sweep: large enough that a poll
+#: loop reliably catches the subprocess between its first and last
+#: write-through, small enough for a CI smoke budget.
+KILL_SWEEP_CELLS = 6
+
+
+def _scenario(duration: float):
+    from repro.api import ScenarioSpec
+
+    return ScenarioSpec(
+        field_size=300.0,
+        sensor_count=24,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=duration,
+        coverage_resolution=15.0,
+        seed=5,
+    )
+
+
+def check_concurrent_dedup() -> list:
+    from repro.api import SweepRunner, SweepSpec
+    from repro.service import SweepService
+
+    scenario = _scenario(duration=20.0)
+    sweep_a = SweepSpec.grid(
+        "smoke-a", scenario, schemes=("CPVF",),
+        axes={"communication_range": [40.0, 50.0]},
+    )
+    sweep_b = SweepSpec.grid(
+        "smoke-b", scenario, schemes=("CPVF",),
+        axes={"communication_range": [50.0, 60.0]},
+    )
+    serial = [SweepRunner(jobs=1).run(s) for s in (sweep_a, sweep_b)]
+
+    async def drive():
+        service = SweepService()
+        try:
+            jobs = [service.submit(s) for s in (sweep_a, sweep_b)]
+            records = await asyncio.gather(*(j.result() for j in jobs))
+            await service.drain()
+            return records, service.metrics
+        finally:
+            service.close()
+
+    records, metrics = asyncio.run(drive())
+    failures = []
+    if metrics.computed != 3:
+        failures.append(
+            f"dedup: computed {metrics.computed} cells, expected 3 "
+            "(the shared rc=50 cell must ride the in-flight dedup)"
+        )
+    if metrics.inflight_hits != 1:
+        failures.append(
+            f"dedup: {metrics.inflight_hits} in-flight hits, expected 1"
+        )
+    if records != serial:
+        failures.append("dedup: service records diverged from SweepRunner(jobs=1)")
+    print(
+        f"service-smoke: dedup {'FAIL' if failures else 'ok'} "
+        f"(computed={metrics.computed} inflight_hits={metrics.inflight_hits} "
+        f"hit_rate={metrics.cache_hit_rate():.0%})"
+    )
+    return failures
+
+
+def check_kill_resume(tmp: pathlib.Path) -> list:
+    from repro.api import SweepRunner, SweepSpec
+    from repro.service import RunStore, SweepService
+
+    scenario = _scenario(duration=60.0)
+    sweep = SweepSpec.grid(
+        "smoke-kill", scenario, schemes=("CPVF",),
+        axes={"communication_range": [35.0, 40.0, 45.0, 50.0, 55.0, 60.0]},
+    )
+    assert len(sweep.runs) == KILL_SWEEP_CELLS
+    sweep_path = tmp / "kill-sweep.json"
+    sweep_path.write_text(json.dumps(sweep.to_dict()))
+    store_root = tmp / "kill-store"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "submit",
+            str(sweep_path), "--store", str(store_root), "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    # Kill the client the moment the store holds a strict subset of the
+    # sweep: the write-through contract persists each cell as it
+    # finishes, so this leaves a genuinely partial store.
+    store = RunStore(store_root)
+    deadline = time.monotonic() + 120.0
+    partial = 0
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            partial = len(store)
+            if 1 <= partial < KILL_SWEEP_CELLS:
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.01)
+        proc.wait(timeout=120.0)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - safety net
+            proc.kill()
+            proc.wait()
+    partial = len(store)
+    if not 1 <= partial < KILL_SWEEP_CELLS:
+        print(
+            f"service-smoke: kill/resume FAIL (store holds {partial}/"
+            f"{KILL_SWEEP_CELLS} cells after SIGKILL; need a strict subset)"
+        )
+        return ["kill/resume: no partial store to resume from"]
+
+    async def resume():
+        service = SweepService(store=store)
+        try:
+            records = await service.run(sweep)
+            await service.drain()
+            return records, service.metrics
+        finally:
+            service.close()
+
+    records, metrics = asyncio.run(resume())
+    failures = []
+    missing = KILL_SWEEP_CELLS - partial
+    if metrics.computed != missing or metrics.store_hits != partial:
+        failures.append(
+            f"kill/resume: recomputed {metrics.computed} cells "
+            f"({metrics.store_hits} store hits), expected exactly the "
+            f"{missing} missing ones"
+        )
+    if records != SweepRunner(jobs=1).run(sweep):
+        failures.append("kill/resume: resumed records diverged from serial run")
+    print(
+        f"service-smoke: kill/resume {'FAIL' if failures else 'ok'} "
+        f"(killed at {partial}/{KILL_SWEEP_CELLS} cells, "
+        f"recomputed {metrics.computed})"
+    )
+    return failures
+
+
+def check_store_gc(tmp: pathlib.Path) -> list:
+    from repro.service import RunStore
+
+    store = RunStore(tmp / "kill-store")
+    entries = len(store)
+    # A stale schema version and an orphaned temp file are exactly what a
+    # version bump / a crashed writer leave behind.
+    record = store.load(next(iter(store.fingerprints())))
+    RunStore(store.root, schema_version=0).put(record)
+    shard = store.path_for(record.spec.fingerprint()).parent
+    (shard / ".deadbeef.tmp").write_text("orphan")
+
+    report = store.gc()
+    failures = []
+    if report.removed_files < 2:
+        failures.append(
+            f"gc: removed {report.removed_files} files, expected the stale "
+            "version entry and the orphaned .tmp"
+        )
+    if len(store) != entries or report.kept_entries != entries:
+        failures.append(
+            f"gc: {len(store)} current entries survive (expected {entries})"
+        )
+    print(
+        f"service-smoke: gc {'FAIL' if failures else 'ok'} "
+        f"(removed {report.removed_files} files, kept {report.kept_entries})"
+    )
+    return failures
+
+
+def main() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmpdir:
+        tmp = pathlib.Path(tmpdir)
+        failures += check_concurrent_dedup()
+        failures += check_kill_resume(tmp)
+        failures += check_store_gc(tmp)
+    if failures:
+        for failure in failures:
+            print(f"service-smoke: {failure}")
+        print("service-smoke: FAILED")
+        return 1
+    print("service-smoke: dedup + kill/resume + gc all hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,7 +47,15 @@ from .schemes import (
     hungarian_bound,
 )
 from .seeds import derive_seed, spawn_seeds
-from .specs import RunRecord, RunSpec, SweepSpec, TracePoint
+from .specs import (
+    SPEC_SCHEMA_VERSION,
+    RunRecord,
+    RunSpec,
+    SweepSpec,
+    TracePoint,
+    canonical_json,
+    run_fingerprint,
+)
 from .sweep import SweepRunner, default_job_count
 
 __all__ = [
@@ -68,6 +76,9 @@ __all__ = [
     "hungarian_bound",
     "derive_seed",
     "spawn_seeds",
+    "SPEC_SCHEMA_VERSION",
+    "canonical_json",
+    "run_fingerprint",
     "TracePoint",
     "RunSpec",
     "RunRecord",

@@ -19,6 +19,8 @@ JSON artifacts (``runner --out``).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -26,7 +28,57 @@ from ..metrics.recovery import EventOutcome
 from .scenario import Params, ScenarioSpec, freeze_params, thaw_params
 from .seeds import derive_seed
 
-__all__ = ["TracePoint", "RunSpec", "RunRecord", "SweepSpec"]
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "canonical_json",
+    "run_fingerprint",
+    "TracePoint",
+    "RunSpec",
+    "RunRecord",
+    "SweepSpec",
+]
+
+#: Version of the spec/record semantics covered by :func:`run_fingerprint`.
+#: Bump it whenever a change makes previously computed records stale for
+#: the *same* spec content — a scheme implementation change that alters
+#: results, a new record field, a serialization change.  The version is
+#: hashed into every fingerprint, so bumping it invalidates every
+#: content-addressed store entry at once (old entries simply never match
+#: again and are reclaimed by ``repro.service``'s GC).
+SPEC_SCHEMA_VERSION = 1
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON serialization used for content addressing.
+
+    Key order, whitespace and non-finite floats are all pinned down, so
+    two structurally equal payloads always serialize to the same bytes —
+    the property :func:`run_fingerprint` relies on.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def run_fingerprint(spec: "RunSpec") -> str:
+    """Canonical blake2b fingerprint of a run spec's semantic content.
+
+    The digest covers every field that determines the run's outcome — the
+    full scenario (layout, placement, population, ranges, seed, event
+    timeline), the scheme and its parameters, and the record-shaping
+    options (``trace_every``, ``keep_positions``) — plus
+    :data:`SPEC_SCHEMA_VERSION`.  It deliberately excludes ``tags``:
+    bookkeeping does not change the computation, so sweeps that differ
+    only in labelling share cache cells (the store re-attaches the
+    requesting spec's tags on a hit).
+
+    Specs are JSON-round-trippable and all run randomness is derived from
+    the spec's own seed, so the fingerprint fully determines the record.
+    """
+    payload = canonical_json(
+        {"schema": SPEC_SCHEMA_VERSION, "spec": spec.canonical_dict()}
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=20).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -97,6 +149,25 @@ class RunSpec:
         data["scenario"] = ScenarioSpec.from_dict(data["scenario"])
         return RunSpec(**data)
 
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The result-determining content of this spec, normalized.
+
+        Like :meth:`to_dict` but without ``tags`` (pure bookkeeping) —
+        the payload :func:`run_fingerprint` hashes.  Params are already
+        order-normalized at freeze time, and :func:`canonical_json`
+        sorts every remaining key.
+        """
+        data = self.to_dict()
+        del data["tags"]
+        return data
+
+    def fingerprint(self) -> str:
+        """Canonical content fingerprint (see :func:`run_fingerprint`)."""
+        return run_fingerprint(self)
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -154,6 +225,21 @@ class RunRecord:
     def extra(self, key: str, default: Any = None) -> Any:
         """A scheme-specific extra metric."""
         return thaw_params(self.extras).get(key, default)
+
+    def rebind(self, spec: RunSpec) -> "RunRecord":
+        """This record re-attached to ``spec`` (which must fingerprint-match).
+
+        Cache hits serve records computed for a *semantically* identical
+        spec; the requesting sweep's bookkeeping tags may differ, and the
+        determinism contract promises records identical to a fresh run.
+        Rebinding swaps the spec (tags included) without touching any
+        computed field.
+        """
+        if spec.fingerprint() != self.spec.fingerprint():
+            raise ValueError(
+                "cannot rebind a record to a spec with a different fingerprint"
+            )
+        return dataclasses.replace(self, spec=spec)
 
     def messages_per_node(self) -> float:
         """Average protocol transmissions per sensor."""

@@ -37,6 +37,7 @@ __all__ = [
     "measure_cpvf_convergence",
     "measure_coverage",
     "measure_sweep_throughput",
+    "measure_sweep_service",
     "measure_scenario_generation",
     "measure_lifecycle_recovery",
     "run_perf_suite",
@@ -398,6 +399,98 @@ def measure_sweep_throughput(
 
 
 # ----------------------------------------------------------------------
+# Sweep service (concurrent clients over a shared run store)
+# ----------------------------------------------------------------------
+def measure_sweep_service(clients: int = 4, seed: int = 3) -> Dict[str, float]:
+    """Sustained throughput of the async sweep service under many clients.
+
+    A synthetic many-client workload: ``clients`` overlapping mini-sweeps
+    (adjacent clients share half their cells) are submitted concurrently
+    to one :class:`~repro.service.SweepService` over a fresh store, then
+    resubmitted against the warm store by a second service.  The service
+    determinism contract is asserted while timing — the cold pass computes
+    exactly the unique cells (shared cells ride the in-flight dedup) and
+    every client's records equal ``SweepRunner(jobs=1)`` on its sweep; the
+    warm pass computes nothing.  Reported throughput is cells served per
+    second, cache hits included — the number a dashboard of this service
+    would call "sustained runs/s".
+    """
+    import asyncio
+    import tempfile
+
+    from ..api import SweepSpec
+    from ..api.scenario import ScenarioSpec
+    from ..service import SweepService
+
+    scenario = ScenarioSpec(
+        field_size=300.0,
+        sensor_count=12,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=20.0,
+        coverage_resolution=15.0,
+        seed=seed,
+    )
+    ranges = (40.0, 50.0, 60.0, 70.0)
+    sweeps = []
+    for i in range(clients):
+        window = sorted({ranges[i % len(ranges)], ranges[(i + 1) % len(ranges)]})
+        sweeps.append(
+            SweepSpec.grid(
+                f"svc-client-{i}",
+                scenario,
+                schemes=("CPVF",),
+                axes={"communication_range": window},
+            )
+        )
+    total_cells = sum(len(sweep.runs) for sweep in sweeps)
+    unique_cells = len(
+        {spec.fingerprint() for sweep in sweeps for spec in sweep.runs}
+    )
+    serial = [SweepRunner(jobs=1).run(sweep) for sweep in sweeps]
+
+    async def drive(store_root: str):
+        service = SweepService(store=store_root)
+        try:
+            start = time.perf_counter()
+            jobs = [service.submit(sweep) for sweep in sweeps]
+            results = await asyncio.gather(*(job.result() for job in jobs))
+            elapsed = time.perf_counter() - start
+            await service.drain()
+            return results, service.metrics, elapsed
+        finally:
+            service.close()
+
+    with tempfile.TemporaryDirectory(prefix="svc-bench-") as store_root:
+        cold_records, cold, cold_s = asyncio.run(drive(store_root))
+        warm_records, warm, warm_s = asyncio.run(drive(store_root))
+
+    if cold.computed != unique_cells:
+        raise AssertionError(
+            f"cold service computed {cold.computed} cells, expected the "
+            f"{unique_cells} unique ones"
+        )
+    if warm.computed != 0 or warm.store_hits != total_cells:
+        raise AssertionError(
+            f"warm service recomputed {warm.computed} cells "
+            f"({warm.store_hits}/{total_cells} store hits)"
+        )
+    if cold_records != serial or warm_records != serial:
+        raise AssertionError("service records diverged from SweepRunner(jobs=1)")
+    return {
+        "clients": clients,
+        "cells_requested": total_cells,
+        "unique_cells": unique_cells,
+        "cold_ms": cold_s * 1000.0,
+        "cold_runs_per_s": total_cells / cold_s if cold_s > 0 else float("inf"),
+        "cold_hit_rate": cold.cache_hit_rate(),
+        "warm_ms": warm_s * 1000.0,
+        "warm_runs_per_s": total_cells / warm_s if warm_s > 0 else float("inf"),
+        "warm_hit_rate": warm.cache_hit_rate(),
+    }
+
+
+# ----------------------------------------------------------------------
 # Scenario generation (procedural layouts + validation)
 # ----------------------------------------------------------------------
 def measure_scenario_generation(
@@ -515,6 +608,7 @@ PERF_ENTRIES: Dict[str, Callable] = {
         measure_coverage(n, seed=seed) for n in ns if n <= 1000
     ],
     "sweep_throughput": lambda ns, seed: [measure_sweep_throughput(seed=seed)],
+    "sweep_service": lambda ns, seed: [measure_sweep_service(seed=seed)],
     "scenario_generation": lambda ns, seed: measure_scenario_generation(),
     "lifecycle_recovery": lambda ns, seed: measure_lifecycle_recovery(seed=seed),
 }

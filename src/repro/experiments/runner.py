@@ -131,12 +131,21 @@ def run_experiment_records(
     seed: int = 1,
     trace_every: Optional[int] = None,
     cpvf_mode: Optional[str] = None,
+    store=None,
+    resume: bool = False,
 ) -> Tuple[List[RunRecord], str]:
     """Run one experiment; return its records and formatted report.
 
     ``cpvf_mode`` selects the CPVF execution strategy (``sequential`` /
     ``vectorized`` / ``batched``, see ``docs/performance.md``) for every
     CPVF run in the sweep; other schemes are untouched.
+
+    ``store`` (a path or :class:`~repro.service.store.RunStore`) binds the
+    sweep to a content-addressed run store: completed cells are written
+    through as they finish, and with ``resume=True`` cells already in the
+    store — from a killed run of this experiment, or from *any* other
+    sweep sharing cells — are served without recompute.  See
+    ``docs/service.md``.
     """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
@@ -162,7 +171,15 @@ def run_experiment_records(
                 for run in sweep.runs
             ),
         )
-    records = SweepRunner(jobs=jobs).run(sweep)
+    runner = SweepRunner(jobs=jobs, store=store, reuse=resume)
+    records = runner.run(sweep)
+    if store is not None and runner.last_cache is not None:
+        cache = runner.last_cache
+        print(
+            f"[{name}: {cache['hits']}/{cache['cells']} cells served from "
+            f"the store, {cache['computed']} computed]",
+            file=sys.stderr,
+        )
     return records, experiment.present(records)
 
 
@@ -248,6 +265,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write one JSON artifact per experiment (records + report)",
     )
     parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed run store: completed cells are persisted "
+            "as they finish (see docs/service.md)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve cells already present in --store without recompute "
+            "(resume a killed sweep / reuse overlapping sweeps)"
+        ),
+    )
+    parser.add_argument(
         "--cpvf-mode",
         choices=["sequential", "vectorized", "batched"],
         default=None,
@@ -266,6 +301,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.trace_every is not None and args.trace_every < 1:
         parser.error("--trace-every must be >= 1")
+    if args.resume and args.store is None:
+        parser.error("--resume requires --store DIR")
 
     if args.list:
         for name in sorted(EXPERIMENTS):
@@ -287,6 +324,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             trace_every=args.trace_every,
             cpvf_mode=args.cpvf_mode,
+            store=args.store,
+            resume=args.resume,
         )
         print(report)
         if args.out is not None:

@@ -58,13 +58,21 @@ def _check_report(scale) -> tuple:
     all_ok = True
     for entry, spec in DEFAULT_SUITE.specs(scale):
         report = validator.validate_scenario(spec)
+        timeline = (
+            f" timeline={entry.timeline} ({len(spec.events)} events)"
+            if entry.timeline
+            else ""
+        )
         if report.ok:
             lines.append(
                 f"  PASS {entry.name:<22s} free={report.free_area_fraction:5.1%}"
+                f"{timeline}"
             )
         else:
             all_ok = False
-            lines.append(f"  FAIL {entry.name:<22s} {'; '.join(report.issues())}")
+            lines.append(
+                f"  FAIL {entry.name:<22s} {'; '.join(report.issues())}{timeline}"
+            )
     lines.append("all scenarios valid" if all_ok else "validation FAILED")
     return "\n".join(lines), all_ok
 

@@ -27,7 +27,14 @@ __all__ = ["SuiteEntry", "ScenarioSuite", "DEFAULT_SUITE"]
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """One named scenario recipe: layout x placement (+ seed and ranges)."""
+    """One named scenario recipe: layout x placement (+ seed and ranges).
+
+    An entry may also carry a *timeline*: the name of a curated lifecycle
+    event script (:data:`repro.experiments.lifecycle.LIFECYCLE_SCRIPTS`).
+    The script is materialised at spec time, scaled to the requested
+    experiment scale, so the same entry injects its faults at the same
+    *fraction* of the horizon whether it runs at smoke or paper scale.
+    """
 
     name: str
     description: str
@@ -40,12 +47,24 @@ class SuiteEntry:
     seed: int = 1
     communication_range: float = 60.0
     sensing_range: float = 40.0
+    #: Named lifecycle event script (``None`` = a static scenario).
+    timeline: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "layout_params", freeze_params(self.layout_params))
         object.__setattr__(
             self, "placement_params", freeze_params(self.placement_params)
         )
+
+    def events(self, scale):
+        """The entry's lifecycle event timeline at an experiment scale."""
+        if self.timeline is None:
+            return ()
+        # Imported lazily: the experiments package sits above scenarios in
+        # the layering (it imports this module for the gallery sweep).
+        from ..experiments.lifecycle import lifecycle_events
+
+        return lifecycle_events(self.timeline, scale)
 
     def spec(self, scale) -> ScenarioSpec:
         """The entry as a :class:`ScenarioSpec` at an experiment scale.
@@ -66,6 +85,7 @@ class SuiteEntry:
             duration=scale.duration,
             coverage_resolution=scale.coverage_resolution,
             seed=self.seed,
+            events=self.events(scale),
         )
 
 
@@ -199,6 +219,35 @@ DEFAULT_SUITE = ScenarioSuite(
             placement="hotspot",
             placement_params={"spread": 0.1},
             seed=11,
+        ),
+        # Lifecycle (event-timeline) scenarios: the curated fault scripts
+        # of the lifecycle experiment, pinned on characteristic fields so
+        # `--check` validates the timelines and the gallery exercises the
+        # churn paths alongside the static suite.
+        SuiteEntry(
+            "open-mass-failure",
+            "open field where a fifth of the population dies mid-run",
+            layout="obstacle-free",
+            placement="clustered",
+            seed=12,
+            timeline="mass-failure",
+        ),
+        SuiteEntry(
+            "open-door-slam",
+            "open field crossed mid-run by a wall band that later clears",
+            layout="obstacle-free",
+            placement="clustered",
+            seed=13,
+            timeline="door-slam",
+        ),
+        SuiteEntry(
+            "clutter-reinforcements",
+            "random clutter with a kill wave then staged reinforcements",
+            layout="clutter",
+            layout_params={"seed": 27},
+            placement="uniform",
+            seed=14,
+            timeline="reinforcements",
         ),
     ]
 )

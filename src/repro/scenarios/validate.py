@@ -59,6 +59,9 @@ class ValidationReport:
     #: Indices of placed sensors that are not in free space (empty unless
     #: positions were validated).
     blocked_sensors: Tuple[int, ...] = ()
+    #: Problems found in the scenario's lifecycle event timeline (empty
+    #: unless a timeline was validated).
+    timeline_issues: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -82,6 +85,7 @@ class ValidationReport:
                 f"{len(self.blocked_sensors)} sensors start inside an "
                 f"obstacle or out of bounds (e.g. #{self.blocked_sensors[0]})"
             )
+        problems.extend(self.timeline_issues)
         return problems
 
 
@@ -149,8 +153,86 @@ class ScenarioValidator:
             i for i, p in enumerate(positions) if not field.is_free(p)
         )
 
+    def validate_timeline(
+        self, spec: ScenarioSpec, field: Optional[Field] = None
+    ) -> Tuple[str, ...]:
+        """Problems in the scenario's lifecycle event timeline.
+
+        Checks every event against the scenario it will fire in: periods
+        must fall inside the horizon, failure fractions in ``[0, 1]``,
+        counts non-negative, join staging points and event obstacles
+        inside the field rectangle, and every ``clear-obstacle`` must
+        reference an obstacle that exists when it fires (layout obstacles
+        plus earlier ``obstacle`` events, minus earlier clears) — the
+        same running count :class:`repro.sim.lifecycle.FaultInjector`
+        maintains at execution time.
+        """
+        if not spec.events:
+            return ()
+        if field is None:
+            field = spec.build_field()
+        horizon = int(spec.duration / spec.period)
+        problems: List[str] = []
+        # The injector fires events in (period, timeline-index) order; the
+        # running obstacle count must be simulated in that same order.
+        fire_order = sorted(
+            enumerate(spec.events), key=lambda pair: (pair[1].at_period, pair[0])
+        )
+        obstacle_count = len(field.obstacles)
+        for index, event in fire_order:
+            tag = f"event #{index} ({event.kind}@{event.at_period})"
+            if event.at_period >= horizon:
+                problems.append(
+                    f"{tag}: fires at period {event.at_period} but the "
+                    f"horizon has only {horizon} periods"
+                )
+            if event.kind == "failure":
+                fraction = event.param("fraction")
+                if fraction is not None and not 0.0 <= fraction <= 1.0:
+                    problems.append(
+                        f"{tag}: failure fraction {fraction} outside [0, 1]"
+                    )
+                count = event.param("count")
+                if count is not None and count < 0:
+                    problems.append(f"{tag}: negative failure count {count}")
+            elif event.kind == "join":
+                count = event.param("count", 0)
+                if count < 0:
+                    problems.append(f"{tag}: negative join count {count}")
+                x, y = event.param("x"), event.param("y")
+                if x is not None and not (
+                    0.0 <= x <= field.width and 0.0 <= y <= field.height
+                ):
+                    problems.append(
+                        f"{tag}: staging point ({x}, {y}) outside the "
+                        f"{field.width} x {field.height} field"
+                    )
+            elif event.kind == "obstacle":
+                xmin, ymin = event.param("xmin"), event.param("ymin")
+                xmax, ymax = event.param("xmax"), event.param("ymax")
+                if not (
+                    0.0 <= xmin < xmax <= field.width
+                    and 0.0 <= ymin < ymax <= field.height
+                ):
+                    problems.append(
+                        f"{tag}: obstacle rectangle "
+                        f"({xmin}, {ymin})-({xmax}, {ymax}) not inside the "
+                        f"{field.width} x {field.height} field"
+                    )
+                obstacle_count += 1
+            elif event.kind == "clear-obstacle":
+                target = int(event.param("index", -1))
+                if not 0 <= target < obstacle_count:
+                    problems.append(
+                        f"{tag}: clears obstacle {target} but only "
+                        f"{obstacle_count} exist when it fires"
+                    )
+                else:
+                    obstacle_count -= 1
+        return tuple(problems)
+
     def validate_scenario(self, spec: ScenarioSpec) -> ValidationReport:
-        """Validate a full scenario: its field plus its initial placement."""
+        """Validate a full scenario: its field, placement and timeline."""
         field = spec.build_field()
         report = self.validate_field(field)
         blocked = self.validate_positions(field, spec.initial_positions(field))
@@ -160,6 +242,7 @@ class ScenarioValidator:
             free_area_fraction=report.free_area_fraction,
             min_free_fraction=report.min_free_fraction,
             blocked_sensors=blocked,
+            timeline_issues=self.validate_timeline(spec, field),
         )
 
 

@@ -1,0 +1,97 @@
+"""Pluggable worker backends for the sweep service.
+
+The service dispatches cache misses to a :class:`WorkerPool`.  The
+contract is deliberately narrow — ``await execute(spec) -> record`` — and
+the process backend ships specs and records across the boundary as plain
+JSON-ready dicts, exactly the payloads a multi-host transport would carry:
+specs are JSON-round-trippable and every run's randomness is derived from
+its own seed, so a shard computes the same record no matter which host
+picks it up.  A remote backend therefore only has to move these dicts
+over a socket; nothing in the service layer would change.
+
+Backends:
+
+* :class:`InlineWorkerPool` — runs cells on threads in this process.
+  CPython's GIL serializes the numeric work, so this is the
+  deterministic, zero-setup choice for tests and tiny sweeps;
+* :class:`ProcessWorkerPool` — a ``concurrent.futures``
+  ``ProcessPoolExecutor``; true parallelism on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional
+
+from ..api.schemes import execute_run
+from ..api.specs import RunRecord, RunSpec
+from ..api.sweep import default_job_count
+
+__all__ = [
+    "WorkerPool",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "execute_payload",
+]
+
+
+def execute_payload(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one serialized spec and return the serialized record.
+
+    The location-independent unit of work: a plain function over plain
+    dicts, usable verbatim as a process-pool task or a remote RPC body.
+    """
+    record = execute_run(RunSpec.from_dict(spec_dict))
+    return record.to_dict()
+
+
+class WorkerPool(abc.ABC):
+    """Executes one run spec somewhere and returns its record."""
+
+    @abc.abstractmethod
+    async def execute(self, spec: RunSpec) -> RunRecord:
+        """Compute the record for ``spec`` (may run anywhere)."""
+
+    def close(self) -> None:
+        """Release any held workers (idempotent)."""
+
+
+class InlineWorkerPool(WorkerPool):
+    """Thread-offloaded in-process execution (keeps the event loop live)."""
+
+    def __init__(self, max_workers: int = 1):
+        self._semaphore = asyncio.Semaphore(max(1, int(max_workers)))
+
+    async def execute(self, spec: RunSpec) -> RunRecord:
+        async with self._semaphore:
+            return await asyncio.to_thread(execute_run, spec)
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Worker processes fed serialized specs (multi-host-shaped payloads)."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers or default_job_count()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    async def execute(self, spec: RunSpec) -> RunRecord:
+        loop = asyncio.get_running_loop()
+        record_dict = await loop.run_in_executor(
+            self._ensure_executor(), execute_payload, spec.to_dict()
+        )
+        # Re-attach the caller's exact spec object: the JSON boundary
+        # canonicalises containers (tuples come back as lists) but cannot
+        # change semantics, so the fingerprints are guaranteed to match.
+        return RunRecord.from_dict(record_dict).rebind(spec)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None

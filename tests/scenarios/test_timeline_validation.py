@@ -1,0 +1,123 @@
+"""Timeline validation: lifecycle suite entries and the validator checks."""
+
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.experiments.common import SMOKE_SCALE
+from repro.scenarios.suite import DEFAULT_SUITE
+from repro.scenarios.validate import ScenarioValidator
+from repro.sim import LifecycleEvent
+
+
+def scenario_with(events, **overrides):
+    defaults = dict(
+        field_size=300.0, sensor_count=12, duration=20.0,
+        coverage_resolution=15.0, seed=2,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(events=events, **defaults)
+
+
+class TestSuiteTimelineEntries:
+    def test_suite_carries_lifecycle_entries(self):
+        timelines = {
+            entry.name: entry.timeline
+            for entry in DEFAULT_SUITE
+            if entry.timeline is not None
+        }
+        assert timelines == {
+            "open-mass-failure": "mass-failure",
+            "open-door-slam": "door-slam",
+            "clutter-reinforcements": "reinforcements",
+        }
+
+    def test_timeline_entries_materialise_events(self):
+        for entry in DEFAULT_SUITE:
+            spec = entry.spec(SMOKE_SCALE)
+            if entry.timeline is None:
+                assert spec.events == ()
+            else:
+                assert len(spec.events) >= 1
+                assert entry.events(SMOKE_SCALE) == spec.events
+
+    def test_every_suite_entry_validates_including_timelines(self):
+        validator = ScenarioValidator()
+        for entry in DEFAULT_SUITE:
+            report = validator.validate_scenario(entry.spec(SMOKE_SCALE))
+            assert report.ok, f"{entry.name}: {report.issues()}"
+            assert report.timeline_issues == ()
+
+
+class TestValidateTimeline:
+    def test_static_scenario_has_no_timeline_issues(self):
+        assert ScenarioValidator().validate_timeline(scenario_with(())) == ()
+
+    def test_period_out_of_horizon(self):
+        spec = scenario_with(
+            [LifecycleEvent(25, "failure", {"count": 1})], duration=20.0
+        )
+        (issue,) = ScenarioValidator().validate_timeline(spec)
+        assert "period 25" in issue and "20 periods" in issue
+
+    def test_failure_fraction_bounds(self):
+        spec = scenario_with([LifecycleEvent(3, "failure", {"fraction": 1.5})])
+        issues = ScenarioValidator().validate_timeline(spec)
+        assert any("outside [0, 1]" in issue for issue in issues)
+        ok = scenario_with([LifecycleEvent(3, "failure", {"fraction": 0.4})])
+        assert ScenarioValidator().validate_timeline(ok) == ()
+
+    def test_join_staging_point_in_field(self):
+        spec = scenario_with(
+            [LifecycleEvent(3, "join", {"count": 2, "x": 900.0, "y": 10.0})]
+        )
+        issues = ScenarioValidator().validate_timeline(spec)
+        assert any("staging point" in issue for issue in issues)
+
+    def test_obstacle_rectangle_in_field(self):
+        spec = scenario_with(
+            [LifecycleEvent(
+                3, "obstacle",
+                {"xmin": 250.0, "ymin": 10.0, "xmax": 400.0, "ymax": 40.0},
+            )]
+        )
+        issues = ScenarioValidator().validate_timeline(spec)
+        assert any("obstacle rectangle" in issue for issue in issues)
+
+    def test_clear_obstacle_tracks_running_count(self):
+        appear = LifecycleEvent(
+            4, "obstacle",
+            {"xmin": 100.0, "ymin": 10.0, "xmax": 150.0, "ymax": 40.0},
+        )
+        # The cleared index exists only because the appear fires first.
+        ok = scenario_with([appear, LifecycleEvent(8, "clear-obstacle",
+                                                   {"index": 0})])
+        assert ScenarioValidator().validate_timeline(ok) == ()
+
+        # Clearing before anything appears on an obstacle-free field fails.
+        bad = scenario_with([LifecycleEvent(2, "clear-obstacle", {"index": 0}),
+                             appear])
+        issues = ScenarioValidator().validate_timeline(bad)
+        assert any("clears obstacle 0" in issue for issue in issues)
+
+        # A second clear of the same (now removed) obstacle fails too.
+        double = scenario_with(
+            [appear,
+             LifecycleEvent(8, "clear-obstacle", {"index": 0}),
+             LifecycleEvent(9, "clear-obstacle", {"index": 0})]
+        )
+        issues = ScenarioValidator().validate_timeline(double)
+        assert any("only 0 exist" in issue for issue in issues)
+
+    def test_layout_obstacles_count_toward_clears(self):
+        spec = scenario_with(
+            [LifecycleEvent(2, "clear-obstacle", {"index": 1})],
+            layout="two-obstacle",
+        )
+        assert ScenarioValidator().validate_timeline(spec) == ()
+
+    def test_issues_fold_into_the_scenario_report(self):
+        spec = scenario_with([LifecycleEvent(999, "failure", {"count": 1})])
+        report = ScenarioValidator().validate_scenario(spec)
+        assert not report.ok
+        assert report.timeline_issues
+        assert any("period 999" in issue for issue in report.issues())

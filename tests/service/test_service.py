@@ -1,0 +1,246 @@
+"""The async sweep service: determinism, dedup, resume, observability."""
+
+import asyncio
+
+import pytest
+
+from repro.api import RunSpec, ScenarioSpec, SweepRunner, SweepSpec
+from repro.service import ProcessWorkerPool, RunStore, SweepService
+
+
+def tiny_scenario(**overrides):
+    defaults = dict(
+        field_size=250.0,
+        sensor_count=10,
+        duration=12.0,
+        coverage_resolution=25.0,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def tiny_sweep(name="svc", values=(40.0, 55.0), **scenario_overrides):
+    return SweepSpec.grid(
+        name,
+        tiny_scenario(**scenario_overrides),
+        schemes=("CPVF",),
+        axes={"communication_range": list(values)},
+    )
+
+
+def drive(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    return SweepRunner(jobs=1).run(tiny_sweep())
+
+
+class TestDeterminism:
+    def test_cold_service_matches_serial_runner(self, tmp_path, serial_records):
+        async def scenario():
+            service = SweepService(store=str(tmp_path / "store"))
+            try:
+                records = await service.run(tiny_sweep())
+                await service.drain()
+                return records, service.metrics
+            finally:
+                service.close()
+
+        records, metrics = drive(scenario())
+        assert records == serial_records
+        assert metrics.computed == len(records)
+        assert metrics.store_hits == 0
+
+    def test_execute_single_spec(self, serial_records):
+        async def scenario():
+            service = SweepService()
+            try:
+                spec = tiny_sweep().runs[0]
+                return await service.execute(spec)
+            finally:
+                service.close()
+
+        assert drive(scenario()) == serial_records[0]
+
+    def test_process_pool_matches_inline(self, tmp_path, serial_records):
+        async def scenario():
+            pool = ProcessWorkerPool(max_workers=2)
+            service = SweepService(store=str(tmp_path / "store"), pool=pool)
+            try:
+                return await service.run(tiny_sweep())
+            finally:
+                service.close()
+
+        assert drive(scenario()) == serial_records
+
+
+class TestDedupAndResume:
+    def test_overlapping_jobs_compute_shared_cells_once(self, serial_records):
+        async def scenario():
+            service = SweepService()  # no store: pure in-flight dedup
+            try:
+                jobs = [service.submit(tiny_sweep()) for _ in range(3)]
+                results = await asyncio.gather(*(job.result() for job in jobs))
+                await service.drain()
+                return results, service.metrics
+            finally:
+                service.close()
+
+        results, metrics = drive(scenario())
+        assert all(records == serial_records for records in results)
+        assert metrics.computed == len(serial_records)
+        assert metrics.inflight_hits == 2 * len(serial_records)
+
+    def test_warm_store_recomputes_nothing(self, tmp_path, serial_records):
+        store = RunStore(tmp_path / "store")
+        for record in serial_records:
+            store.put(record)
+
+        async def scenario():
+            service = SweepService(store=store)
+            try:
+                records = await service.run(tiny_sweep())
+                return records, service.metrics
+            finally:
+                service.close()
+
+        records, metrics = drive(scenario())
+        assert records == serial_records
+        assert metrics.computed == 0
+        assert metrics.store_hits == len(serial_records)
+        assert metrics.cache_hit_rate() == 1.0
+
+    def test_partial_store_recomputes_only_missing_cells(
+        self, tmp_path, serial_records
+    ):
+        store = RunStore(tmp_path / "store")
+        store.put(serial_records[0])
+
+        async def scenario():
+            service = SweepService(store=store)
+            try:
+                records = await service.run(tiny_sweep())
+                await service.drain()
+                return records, service.metrics
+            finally:
+                service.close()
+
+        records, metrics = drive(scenario())
+        assert records == serial_records
+        assert metrics.store_hits == 1
+        assert metrics.computed == len(serial_records) - 1
+
+    def test_refresh_mode_recomputes_but_still_persists(
+        self, tmp_path, serial_records
+    ):
+        store = RunStore(tmp_path / "store")
+        for record in serial_records:
+            store.put(record)
+
+        async def scenario():
+            service = SweepService(store=store, reuse=False)
+            try:
+                records = await service.run(tiny_sweep())
+                await service.drain()
+                return records, service.metrics
+            finally:
+                service.close()
+
+        records, metrics = drive(scenario())
+        assert records == serial_records
+        assert metrics.store_hits == 0
+        assert metrics.computed == len(serial_records)
+        assert len(store) == len(serial_records)
+
+    def test_write_through_persists_every_cell(self, tmp_path, serial_records):
+        async def scenario():
+            service = SweepService(store=str(tmp_path / "store"))
+            try:
+                await service.run(tiny_sweep())
+                await service.drain()
+            finally:
+                service.close()
+
+        drive(scenario())
+        store = RunStore(tmp_path / "store")
+        assert len(store) == len(serial_records)
+        for record in serial_records:
+            assert store.get(record.spec) == record
+
+
+class TestObservability:
+    def test_event_stream_replays_backlog(self, serial_records):
+        async def scenario():
+            service = SweepService()
+            try:
+                job = service.submit(tiny_sweep())
+                await job.result()
+                # Subscribing after completion still yields the full stream.
+                return [event async for event in job.events()], job.status()
+            finally:
+                service.close()
+
+        events, status = drive(scenario())
+        done = [e for e in events if e.status == "done"]
+        assert len(done) == len(serial_records)
+        assert {e.status for e in events} <= {"scheduled", "done"}
+        assert all(e.source == "computed" for e in done)
+        assert status["finished"] is True
+        assert status["completed"] == len(serial_records)
+        assert status["by_source"]["computed"] == len(serial_records)
+
+    def test_metrics_export_shape(self):
+        async def scenario():
+            service = SweepService()
+            try:
+                await service.run(tiny_sweep())
+                return service.metrics.to_dict()
+            finally:
+                service.close()
+
+        exported = drive(scenario())
+        assert exported["jobs_submitted"] == 1
+        assert exported["cells_submitted"] == 2
+        assert exported["max_queue_depth"] >= 1
+        assert exported["queue_depth"] == 0
+        assert exported["compute_seconds"] > 0
+
+
+class TestFailureAndCancellation:
+    def test_failed_cell_fails_the_job_and_counts(self):
+        bad = RunSpec(scenario=tiny_scenario(), scheme="CPVF",
+                      scheme_params={"mode": "no-such-mode"})
+
+        async def scenario():
+            service = SweepService()
+            try:
+                job = service.submit([bad])
+                with pytest.raises(Exception):
+                    await job.result()
+                events = [event async for event in job.events()]
+                return service.metrics, events
+            finally:
+                service.close()
+
+        metrics, events = drive(scenario())
+        assert metrics.failed == 1
+        assert events[-1].status == "failed"
+        assert events[-1].error
+
+    def test_cancel_kills_the_job_not_the_store(self, tmp_path):
+        async def scenario():
+            service = SweepService(store=str(tmp_path / "store"))
+            try:
+                job = service.submit(tiny_sweep())
+                assert job.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await job.result()
+                # Shielded computations finish and write through.
+                await service.drain()
+            finally:
+                service.close()
+
+        drive(scenario())
