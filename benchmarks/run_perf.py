@@ -75,11 +75,21 @@ def _print_results(results: dict) -> None:
                     f" batched={row['batched_ms']:.2f} ms"
                     f" ({row['speedup_vs_vectorized']:.1f}x vs vectorized)"
                 )
+            if row.get("phases_ms"):
+                top = max(row["phases_ms"], key=row["phases_ms"].get)
+                extra += f" [top phase {top}={row['phases_ms'][top]:.1f} ms]"
             print(
                 f"{section}{layout} n={row['n']}: "
                 f"seed={row['seed_ms']:.2f} ms fast={row['fast_ms']:.2f} ms "
                 f"({row['speedup']:.1f}x){extra}"
             )
+    for row in results.get("telemetry_overhead", ()):
+        print(
+            f"telemetry_overhead n={row['n']}: "
+            f"untraced={row['untraced_ms']:.2f} ms "
+            f"traced={row['traced_ms']:.2f} ms "
+            f"(+{row['overhead_pct']:.1f}%)"
+        )
     for row in results.get("cpvf_convergence", ()):
         print(
             f"cpvf_convergence {row['scenario']} n={row['n']}: "

@@ -29,6 +29,7 @@ Quick start::
               f"{record.coverage:.1%}")
 """
 
+from ..obs import TelemetrySummary
 from .registry import (
     Registry,
     layout_registry,
@@ -80,6 +81,7 @@ __all__ = [
     "canonical_json",
     "run_fingerprint",
     "TracePoint",
+    "TelemetrySummary",
     "RunSpec",
     "RunRecord",
     "SweepSpec",

@@ -21,7 +21,9 @@ without touching the experiment layer.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import random
+import time
 from typing import Dict
 
 from ..assignment import minimum_distance_matching
@@ -29,6 +31,7 @@ from ..baselines import MinimaxScheme, OptStripPattern, VorScheme, explode
 from ..core import CPVFScheme, FloorScheme
 from ..metrics import positions_are_connected
 from ..metrics.recovery import RecoveryTracker
+from ..obs import NULL_TELEMETRY, PhaseStat, Telemetry, TelemetrySummary
 from ..sim import DeploymentScheme, SimulationEngine
 from ..sim.lifecycle import (
     build_event_obstacle,
@@ -82,9 +85,28 @@ def execute_run(spec: RunSpec) -> RunRecord:
 
     This is the single entry point the sweep executor (and its worker
     processes) use; it is a module-level function so it pickles cleanly.
+
+    With ``spec.profile`` set, the record carries a
+    :class:`~repro.obs.TelemetrySummary`.  Period-based schemes collect
+    real phase spans inside the engine; schemes without an engine (the VD
+    baselines and the analytic patterns) get a minimal one-phase
+    ``run.execute`` summary so profiled sweeps render uniformly.
     """
     adapter: SchemeAdapter = scheme_registry.get(spec.scheme)
-    return adapter.execute(spec)
+    if not spec.profile:
+        return adapter.execute(spec)
+    started = time.perf_counter()
+    record = adapter.execute(spec)
+    if record.telemetry is None:
+        summary = TelemetrySummary(
+            phases={
+                "run.execute": PhaseStat(
+                    seconds=time.perf_counter() - started, calls=1
+                )
+            }
+        )
+        record = dataclasses.replace(record, telemetry=summary)
+    return record
 
 
 class SchemeAdapter(abc.ABC):
@@ -122,9 +144,13 @@ class PeriodSchemeAdapter(SchemeAdapter):
         engine = SimulationEngine(
             world,
             scheme,
-            trace_every=spec.trace_every if spec.trace_every else 50,
+            # Explicit cadence: None means no trace was requested, so the
+            # engine skips the per-period coverage measurements entirely
+            # instead of silently tracing every 50 periods.
+            trace_every=spec.trace_every,
             keep_world=True,
             events=scenario.events,
+            telemetry=Telemetry() if spec.profile else NULL_TELEMETRY,
         )
         result = engine.run()
         return RunRecord(
@@ -149,8 +175,6 @@ class PeriodSchemeAdapter(SchemeAdapter):
                     )
                     for t in result.trace
                 )
-                if spec.trace_every
-                else ()
             ),
             events=tuple(result.events),
             final_positions=(
@@ -158,6 +182,7 @@ class PeriodSchemeAdapter(SchemeAdapter):
                 if spec.keep_positions
                 else None
             ),
+            telemetry=result.telemetry,
         )
 
 

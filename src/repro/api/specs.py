@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..metrics.recovery import EventOutcome
+from ..obs import TelemetrySummary
 from .scenario import Params, ScenarioSpec, freeze_params, thaw_params
 from .seeds import derive_seed
 
@@ -114,6 +115,12 @@ class RunSpec:
     #: Hungarian lower bounds and layout plots; off by default to keep
     #: sweep records light).
     keep_positions: bool = False
+    #: Collect telemetry (phase spans + counters) and attach the
+    #: :class:`~repro.obs.TelemetrySummary` to the record.  Excluded from
+    #: the fingerprint like ``tags``: profiling observes the run, it does
+    #: not change the computation, so profiled and unprofiled sweeps
+    #: share cache cells.
+    profile: bool = False
     #: Free-form experiment bookkeeping (scenario label, sweep axis values,
     #: repetition index, ...); carried through to the record untouched.
     tags: Params = ()
@@ -140,6 +147,7 @@ class RunSpec:
             "scheme_params": thaw_params(self.scheme_params),
             "trace_every": self.trace_every,
             "keep_positions": self.keep_positions,
+            "profile": self.profile,
             "tags": thaw_params(self.tags),
         }
 
@@ -155,13 +163,15 @@ class RunSpec:
     def canonical_dict(self) -> Dict[str, Any]:
         """The result-determining content of this spec, normalized.
 
-        Like :meth:`to_dict` but without ``tags`` (pure bookkeeping) —
-        the payload :func:`run_fingerprint` hashes.  Params are already
+        Like :meth:`to_dict` but without ``tags`` (pure bookkeeping) or
+        ``profile`` (pure observation) — the payload
+        :func:`run_fingerprint` hashes.  Params are already
         order-normalized at freeze time, and :func:`canonical_json`
         sorts every remaining key.
         """
         data = self.to_dict()
         del data["tags"]
+        del data["profile"]
         return data
 
     def fingerprint(self) -> str:
@@ -198,6 +208,11 @@ class RunRecord:
     events: Tuple[EventOutcome, ...] = ()
     #: Final ``(x, y)`` positions (populated when ``spec.keep_positions``).
     final_positions: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Phase-time breakdown + counter totals (populated when
+    #: ``spec.profile``).  Counter values are deterministic; phase seconds
+    #: are wall-clock.  Absent (``None``) in unprofiled and pre-telemetry
+    #: records.
+    telemetry: Optional[TelemetrySummary] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extras", freeze_params(self.extras))
@@ -269,6 +284,9 @@ class RunRecord:
                 if self.final_positions is not None
                 else None
             ),
+            "telemetry": (
+                self.telemetry.to_dict() if self.telemetry is not None else None
+            ),
         }
 
     @staticmethod
@@ -281,6 +299,11 @@ class RunRecord:
         )
         data["events"] = tuple(
             EventOutcome.from_dict(outcome) for outcome in data.get("events", ())
+        )
+        # Back-compat: pre-telemetry payloads have no "telemetry" key.
+        telemetry = data.get("telemetry")
+        data["telemetry"] = (
+            TelemetrySummary.from_dict(telemetry) if telemetry else None
         )
         return RunRecord(**data)
 
@@ -314,6 +337,7 @@ class SweepSpec:
         scheme_params: Union[Mapping[str, Any], Params, None] = None,
         trace_every: Optional[int] = None,
         keep_positions: bool = False,
+        profile: bool = False,
         tags: Union[Mapping[str, Any], Params, None] = None,
     ) -> "SweepSpec":
         """Expand a cartesian grid of scenario overrides into runs.
@@ -357,6 +381,7 @@ class SweepSpec:
                             scheme_params=freeze_params(scheme_params),
                             trace_every=trace_every,
                             keep_positions=keep_positions,
+                            profile=profile,
                             tags=run_tags,
                         )
                     )

@@ -513,17 +513,22 @@ class CPVFScheme(DeploymentScheme):
         rc_list = [s.communication_range for s in sensors]
         rc_min, rc_max = min(rc_list), max(rc_list)
         pair_extra = 2.0 * config.max_step
-        rows, cols, d2 = world.neighbor_pairs(pair_extra, with_d2=True)
-        if rc_min == rc_max:
-            limit = rc_min + 1e-9
-            in_range = d2 <= limit * limit
-        else:
-            rcs = np.fromiter(rc_list, float, n) + 1e-9
-            in_range = d2 <= rcs[rows] * rcs[rows]
-        ux, uy, moving = self._force_direction_arrays(
-            world, xs, ys, connected, rows, cols, in_range,
-            symmetric=rc_min == rc_max,
-        )
+        tel = world.telemetry
+        with tel.span("cpvf.pairs"):
+            rows, cols, d2 = world.neighbor_pairs(pair_extra, with_d2=True)
+        if tel.enabled:
+            tel.count("cpvf.candidate_pairs", int(rows.size))
+        with tel.span("cpvf.forces"):
+            if rc_min == rc_max:
+                limit = rc_min + 1e-9
+                in_range = d2 <= limit * limit
+            else:
+                rcs = np.fromiter(rc_list, float, n) + 1e-9
+                in_range = d2 <= rcs[rows] * rcs[rows]
+            ux, uy, moving = self._force_direction_arrays(
+                world, xs, ys, connected, rows, cols, in_range,
+                symmetric=rc_min == rc_max,
+            )
         schedule = self._get_schedule(world)
         colors = schedule.colors
         # Connected sensors outside the colored tree (detached subtrees)
@@ -560,8 +565,12 @@ class CPVFScheme(DeploymentScheme):
                 n,
             )
         base = world.base_station
+        batch_span = tel.span("cpvf.batch")
+        batch_span.__enter__()
         for color in (0, 1):
             idx = np.flatnonzero(moving & (colors == color))
+            if tel.enabled:
+                tel.count(f"cpvf.color{color}_sensors", int(idx.size))
             if idx.size == 0:
                 continue
             pair_owner, nodes = schedule.links_for(idx)
@@ -628,6 +637,7 @@ class CPVFScheme(DeploymentScheme):
             # its link positions must see this class's committed moves.
             xs[midx] = end_x
             ys[midx] = end_y
+        batch_span.__exit__(None, None, None)
         # Oscillation history: every connected sensor's previous position
         # becomes its start-of-period position (the scalar modes do the
         # same, branch by branch); repair sensors keep their history until
@@ -649,17 +659,21 @@ class CPVFScheme(DeploymentScheme):
             offsets = np.zeros(n + 1, dtype=np.intp)
             np.cumsum(np.bincount(rows, minlength=n), out=offsets[1:])
             candidate_csr = (cols, offsets)
-        for i in repair:
-            self._repair_blocked(
-                world, sensors[i], Vec2(float(ux[i]), float(uy[i])),
-                record_messages=bool(stray[i]),
-                candidate_csr=candidate_csr,
-                xs=xs, ys=ys, connected=connected,
-            )
-            # Keep the live coordinate arrays in sync for later repairs.
-            pos = sensors[i].position
-            xs[i] = pos.x
-            ys[i] = pos.y
+        if tel.enabled:
+            tel.count("cpvf.repair_attempts", len(repair))
+            tel.count("cpvf.stray_sensors", int(stray.sum()))
+        with tel.span("cpvf.repair"):
+            for i in repair:
+                self._repair_blocked(
+                    world, sensors[i], Vec2(float(ux[i]), float(uy[i])),
+                    record_messages=bool(stray[i]),
+                    candidate_csr=candidate_csr,
+                    xs=xs, ys=ys, connected=connected,
+                )
+                # Keep the live coordinate arrays in sync for later repairs.
+                pos = sensors[i].position
+                xs[i] = pos.x
+                ys[i] = pos.y
 
     def _repair_blocked(
         self,
@@ -786,10 +800,12 @@ class CPVFScheme(DeploymentScheme):
                 continue
             if base_ok and math.hypot(qx - base.x, qy - base.y) <= limit:
                 world.reparent_in_tree(sid, BASE_STATION_ID)
+                world.telemetry.count("cpvf.parent_changes", 1)
                 return step
             ok = np.flatnonzero(np.hypot(qx - cand_x, qy - cand_y) <= limit)
             if ok.size:
                 world.reparent_in_tree(sid, int(cand[ok[0]]))
+                world.telemetry.count("cpvf.parent_changes", 1)
                 return step
         return 0.0
 
@@ -950,6 +966,7 @@ class CPVFScheme(DeploymentScheme):
             for candidate, cx, cy in candidate_xy:
                 if math.hypot(qx - cx, qy - cy) <= limit:
                     world.reparent_in_tree(sensor.sensor_id, candidate)
+                    world.telemetry.count("cpvf.parent_changes", 1)
                     return step
         return 0.0
 
@@ -991,6 +1008,7 @@ class CPVFScheme(DeploymentScheme):
                 best_parent = candidate
         if best_parent is not None and best_step > 0.0:
             world.reparent_in_tree(sensor.sensor_id, best_parent)
+            world.telemetry.count("cpvf.parent_changes", 1)
             return best_step
         return 0.0
 

@@ -213,8 +213,15 @@ class FloorScheme(DeploymentScheme):
             for sensor in world.sensors:
                 if sensor.state is SensorState.CONNECTED:
                     sensor.state = SensorState.MOVABLE
-            self._advance_relocations(world)
-            self._run_expansion_round(world)
+            tel = world.telemetry
+            with tel.span("floor.relocations"):
+                self._advance_relocations(world)
+            with tel.span("floor.expansion_round"):
+                self._run_expansion_round(world)
+            if tel.enabled:
+                tel.gauge(
+                    "floor.relocations_in_flight", len(self._relocations)
+                )
 
     # -- Phase 1: achieving connectivity --------------------------------
     def _attach_distance(self, world: World) -> float:
@@ -533,9 +540,15 @@ class FloorScheme(DeploymentScheme):
             if s.state is SensorState.MOVABLE and s.sensor_id not in self._relocations
         ]
         connected_count = len(world.connected_sensor_ids())
+        if world.telemetry.enabled:
+            # One invitation walk starts per advertised expansion point.
+            world.telemetry.count(
+                "floor.invitations_issued", len(expansion_points)
+            )
         assignments = self._invitations.run_round(
             expansion_points, movable, connected_count, world.tree
         )
+        world.telemetry.count("floor.relocations_started", len(assignments))
 
         # 3. Accepted movable sensors start relocating.
         for assignment in assignments:

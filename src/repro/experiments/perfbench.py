@@ -34,6 +34,7 @@ __all__ = [
     "measure_neighbor_table",
     "measure_cpvf_period",
     "measure_cpvf_period_scale",
+    "measure_telemetry_overhead",
     "measure_cpvf_convergence",
     "measure_coverage",
     "measure_sweep_throughput",
@@ -143,6 +144,7 @@ def _timed_periods(
     periods: int,
     mode: str = None,
     fast_infra: bool = None,
+    telemetry=None,
 ) -> float:
     """Mean seconds per CPVF period for one execution configuration.
 
@@ -151,6 +153,10 @@ def _timed_periods(
     neighbour/coverage infrastructure independently — the large-``n``
     scale rows keep it on even for the seed *algorithm*, because the
     seed's dense n x n matrices would not fit in memory at n = 10^4.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) is installed on the
+    world *after* the warm-up step, so its spans and counters cover
+    exactly the ``periods`` timed steps.
     """
     if fast_infra is None:
         fast_infra = fast
@@ -165,6 +171,8 @@ def _timed_periods(
     try:
         scheme.initialize(world)
         scheme.step(world)  # warm-up period
+        if telemetry is not None:
+            world.telemetry = telemetry
         start = time.perf_counter()
         for _ in range(periods):
             scheme.step(world)
@@ -215,6 +223,26 @@ def measure_cpvf_period_scale(
     batched_s = _timed_periods(
         n, seed, fast=True, periods=periods, mode="batched"
     )
+    # One more batched pass with telemetry on: the phase breakdown of a
+    # period (ms per period per span) and the period-normalised kernel
+    # counters.  Timed separately so the headline batched_ms stays the
+    # untraced number the overhead entry is gated against.
+    from ..obs import Telemetry
+
+    tel = Telemetry()
+    _timed_periods(
+        n, seed, fast=True, periods=periods, mode="batched", telemetry=tel
+    )
+    summary = tel.summary()
+    phases = {
+        name: stat.seconds / periods * 1000.0
+        for name, stat in sorted(summary.phases.items())
+    }
+    counters_per_period = {
+        name: summary.counters[name] / periods
+        for name in ("cpvf.candidate_pairs", "cpvf.repair_attempts")
+        if name in summary.counters
+    }
     return {
         "n": n,
         "seed_ms": seed_s * 1000.0,
@@ -223,6 +251,52 @@ def measure_cpvf_period_scale(
         "speedup": seed_s / batched_s if batched_s > 0 else float("inf"),
         "speedup_vs_vectorized": (
             fast_s / batched_s if batched_s > 0 else float("inf")
+        ),
+        "phases_ms": phases,
+        "counters_per_period": counters_per_period,
+    }
+
+
+def measure_telemetry_overhead(
+    n: int = 2000, seed: int = 3, periods: int = None, rounds: int = 3
+) -> Dict[str, float]:
+    """Null-sink telemetry cost on the batched CPVF hot path.
+
+    Times the same batched configuration as the ``cpvf_period`` n = 2000
+    row, untraced (``NULL_TELEMETRY``) and traced (a live ``Telemetry``
+    with the default null sink), best-of-``rounds`` each to denoise the
+    shared 1-CPU bench host.  The observability contract is that the
+    traced path stays within a few percent of the untraced one; CI's
+    ``obs_smoke`` gate reads this entry.
+    """
+    from ..obs import Telemetry
+
+    if periods is None:
+        periods = 6 if n <= 2000 else 3
+    untraced_s = min(
+        _timed_periods(n, seed, fast=True, periods=periods, mode="batched")
+        for _ in range(rounds)
+    )
+    traced_s = min(
+        _timed_periods(
+            n,
+            seed,
+            fast=True,
+            periods=periods,
+            mode="batched",
+            telemetry=Telemetry(),
+        )
+        for _ in range(rounds)
+    )
+    return {
+        "n": n,
+        "periods": periods,
+        "untraced_ms": untraced_s * 1000.0,
+        "traced_ms": traced_s * 1000.0,
+        "overhead_pct": (
+            (traced_s - untraced_s) / untraced_s * 100.0
+            if untraced_s > 0
+            else 0.0
         ),
     }
 
@@ -604,6 +678,9 @@ PERF_ENTRIES: Dict[str, Callable] = {
         for n in ns
     ],
     "cpvf_convergence": lambda ns, seed: [measure_cpvf_convergence(seed=seed)],
+    "telemetry_overhead": lambda ns, seed: [
+        measure_telemetry_overhead(seed=seed)
+    ],
     "coverage": lambda ns, seed: [
         measure_coverage(n, seed=seed) for n in ns if n <= 1000
     ],

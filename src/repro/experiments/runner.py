@@ -38,6 +38,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..api import RunRecord, SweepRunner, SweepSpec, thaw_params
+from ..obs import TelemetrySummary
+from ..obs.report import format_summary, write_record_trace
 from .common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
 from .fig3 import format_fig3_records, sweep_fig3
 from .fig8 import format_fig8_records, sweep_fig8
@@ -133,12 +135,17 @@ def run_experiment_records(
     cpvf_mode: Optional[str] = None,
     store=None,
     resume: bool = False,
+    profile: bool = False,
 ) -> Tuple[List[RunRecord], str]:
     """Run one experiment; return its records and formatted report.
 
     ``cpvf_mode`` selects the CPVF execution strategy (``sequential`` /
     ``vectorized`` / ``batched``, see ``docs/performance.md``) for every
     CPVF run in the sweep; other schemes are untouched.
+
+    ``profile`` turns on telemetry for every run: each record carries a
+    :class:`~repro.obs.TelemetrySummary` (phase times + counters), which
+    ``main`` aggregates into a per-experiment breakdown.
 
     ``store`` (a path or :class:`~repro.service.store.RunStore`) binds the
     sweep to a content-addressed run store: completed cells are written
@@ -171,6 +178,11 @@ def run_experiment_records(
                 for run in sweep.runs
             ),
         )
+    if profile:
+        sweep = SweepSpec(
+            name=sweep.name,
+            runs=tuple(run.replace(profile=True) for run in sweep.runs),
+        )
     runner = SweepRunner(jobs=jobs, store=store, reuse=resume)
     records = runner.run(sweep)
     if store is not None and runner.last_cache is not None:
@@ -195,6 +207,15 @@ def run_experiment(
         name, scale, jobs=jobs, seed=seed, trace_every=trace_every
     )
     return report
+
+
+def profile_summary(records: Sequence[RunRecord]) -> TelemetrySummary:
+    """The merged telemetry of every profiled record in a sweep."""
+    merged = TelemetrySummary()
+    for record in records:
+        if record.telemetry is not None:
+            merged = merged.merge(record.telemetry)
+    return merged
 
 
 def _write_artifact(
@@ -292,6 +313,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect telemetry for every run and print the aggregated "
+            "per-phase time breakdown after each experiment (with --out, "
+            "also export a <name>_trace.jsonl readable by "
+            "`python -m repro.obs report`)"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the available experiments and exit",
@@ -326,8 +357,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             cpvf_mode=args.cpvf_mode,
             store=args.store,
             resume=args.resume,
+            profile=args.profile,
         )
         print(report)
+        if args.profile:
+            print()
+            print(
+                format_summary(
+                    profile_summary(records), title=f"{name}: profile"
+                )
+            )
         if args.out is not None:
             path = _write_artifact(
                 args.out,
@@ -340,6 +379,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 report,
             )
             print(f"[wrote {path}]")
+            if args.profile:
+                trace_path = args.out / f"{name}_trace.jsonl"
+                with open(trace_path, "w", encoding="utf-8") as handle:
+                    write_record_trace(handle, records)
+                print(f"[wrote {trace_path}]")
         print()
     return 0
 

@@ -51,6 +51,24 @@ class MessageStats:
             return 0.0
         return self.total() / node_count
 
+    def to_counters(self, prefix: str = "messages.") -> Dict[str, int]:
+        """The counts as flat telemetry counters (shared dotted schema).
+
+        ``messages.<type>`` keys, lexically sorted, plus a
+        ``messages.total`` aggregate — the same schema
+        ``ServiceMetrics.to_counters`` and :class:`repro.obs.Telemetry`
+        use, so message accounting folds into any telemetry summary.
+        """
+        counters = {
+            f"{prefix}{message_type.name.lower()}": count
+            for message_type, count in sorted(
+                self.counts.items(), key=lambda item: item[0].name
+            )
+            if count
+        }
+        counters[f"{prefix}total"] = self.total()
+        return counters
+
     def snapshot(self) -> "MessageStats":
         """A frozen copy of the current counters.
 

@@ -1,0 +1,21 @@
+"""Low-overhead telemetry: spans, counters, period traces, sinks.
+
+See ``docs/observability.md`` for the API and the overhead contract.
+"""
+
+from .sinks import JsonlSink, MemorySink, NullSink, TelemetrySink
+from .summary import PhaseStat, TelemetrySummary
+from .telemetry import NULL_TELEMETRY, NullTelemetry, PeriodTrace, Telemetry
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "PeriodTrace",
+    "PhaseStat",
+    "TelemetrySummary",
+    "TelemetrySink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+]

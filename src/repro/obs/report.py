@@ -1,0 +1,164 @@
+"""Render telemetry traces and summaries for humans.
+
+``python -m repro.obs report trace.jsonl`` reads a JSONL trace (written
+by :class:`~repro.obs.sinks.JsonlSink` or exported from stored records
+via :func:`write_record_trace`) and prints a phase-time table plus a
+message-burst timeline built from consecutive period events' message
+deltas.  :func:`format_summary` is the same table for an in-memory
+:class:`~repro.obs.summary.TelemetrySummary` — ``runner --profile``
+uses it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from .summary import TelemetrySummary
+from .telemetry import PeriodTrace
+
+__all__ = [
+    "format_summary",
+    "format_timeline",
+    "load_trace",
+    "render_report",
+    "write_record_trace",
+]
+
+
+def format_summary(summary: TelemetrySummary, title: Optional[str] = None) -> str:
+    """Phase-time table + counter/gauge listing, widest phases first."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    total = summary.total_seconds()
+    if summary.phases:
+        lines.append(f"{'phase':<28} {'total':>10} {'calls':>8} {'per call':>10} {'share':>7}")
+        for name in sorted(
+            summary.phases, key=lambda n: summary.phases[n].seconds, reverse=True
+        ):
+            stat = summary.phases[name]
+            per_call = stat.seconds / stat.calls if stat.calls else 0.0
+            share = stat.seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{name:<28} {stat.seconds * 1e3:>8.2f}ms {stat.calls:>8d} "
+                f"{per_call * 1e3:>8.3f}ms {share:>6.1%}"
+            )
+    else:
+        lines.append("(no phases recorded)")
+    if summary.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(summary.counters):
+            lines.append(f"  {name:<40} {summary.counters[name]:>12d}")
+    if summary.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(summary.gauges):
+            lines.append(f"  {name:<40} {summary.gauges[name]:>12.3f}")
+    return "\n".join(lines)
+
+
+def format_timeline(periods: Sequence[PeriodTrace], width: int = 50) -> str:
+    """ASCII message-burst timeline from consecutive period events.
+
+    Each row is one traced period; the bar length is the number of
+    messages sent since the previous traced period, normalised to the
+    busiest interval, so protocol bursts (e.g. post-failure repair
+    floods) stand out against steady-state chatter.
+    """
+    if not periods:
+        return "(no period events)"
+    ordered = sorted(periods, key=lambda p: p.period)
+    deltas: List[Tuple[PeriodTrace, int]] = []
+    previous_total = 0
+    for trace in ordered:
+        deltas.append((trace, max(0, trace.total_messages - previous_total)))
+        previous_total = trace.total_messages
+    peak = max(delta for _, delta in deltas) or 1
+    lines = [
+        f"{'period':>7} {'time':>8} {'coverage':>9} {'msgs+':>8}  burst",
+    ]
+    for trace, delta in deltas:
+        bar = "#" * max(1 if delta else 0, round(delta / peak * width))
+        lines.append(
+            f"{trace.period:>7d} {trace.time:>8.1f} {trace.coverage:>9.4f} "
+            f"{delta:>8d}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def load_trace(
+    lines: Iterable[str],
+) -> Tuple[List[TelemetrySummary], List[PeriodTrace]]:
+    """Parse JSONL trace lines into (summaries, period events).
+
+    Unknown event types are skipped, so traces written by newer code
+    still load; malformed lines raise, because a truncated trace should
+    be noticed, not silently half-read.
+    """
+    summaries: List[TelemetrySummary] = []
+    periods: List[PeriodTrace] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        kind = payload.get("type")
+        if kind == "summary":
+            summaries.append(TelemetrySummary.from_dict(payload))
+        elif kind == "period":
+            periods.append(PeriodTrace.from_dict(payload))
+    return summaries, periods
+
+
+def render_report(lines: Iterable[str], width: int = 50) -> str:
+    """Full text report (phase table + timeline) for a JSONL trace."""
+    summaries, periods = load_trace(lines)
+    merged = TelemetrySummary()
+    for summary in summaries:
+        merged = merged.merge(summary)
+    sections = [format_summary(merged, title="phase breakdown")]
+    sections.append("")
+    sections.append("message-burst timeline")
+    sections.append("----------------------")
+    sections.append(format_timeline(periods, width=width))
+    return "\n".join(sections)
+
+
+def write_record_trace(out: TextIO, records: Iterable[Any]) -> int:
+    """Export stored run records' telemetry as JSONL trace lines.
+
+    Sweeps execute in worker processes where live sinks cannot stream
+    back, so profiled sweeps carry telemetry *on the records* and this
+    function rebuilds the JSONL trace after the fact: one ``period`` line
+    per stored trace point and one ``summary`` line per record carrying a
+    :class:`TelemetrySummary`.  Returns the number of lines written.
+    """
+    written = 0
+    for record in records:
+        spec = getattr(record, "spec", None)
+        label = spec.fingerprint() if spec is not None else None
+        for index, point in enumerate(getattr(record, "trace", ()) or ()):
+            payload: Dict[str, Any] = {
+                "type": "period",
+                "period": index,
+                "time": point.time,
+                "coverage": point.coverage,
+                "average_moving_distance": point.average_moving_distance,
+                "total_messages": point.total_messages,
+                "connected_sensors": point.connected_sensors,
+            }
+            if label:
+                payload["run"] = label
+            out.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            written += 1
+        summary = getattr(record, "telemetry", None)
+        if summary is not None:
+            payload = {"type": "summary", **summary.to_dict()}
+            if label:
+                payload["run"] = label
+            out.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            written += 1
+    return written

@@ -1,0 +1,122 @@
+"""Telemetry sinks: where span/period/summary events go.
+
+The sink decides what live telemetry costs.  :class:`NullSink` (the
+default) drops everything, so instrumented code pays only the aggregate
+bookkeeping in :class:`~repro.obs.telemetry.Telemetry`;
+:class:`MemorySink` keeps the last N events in a ring buffer for tests
+and interactive inspection; :class:`JsonlSink` streams events to a file
+for ``python -m repro.obs report``, with ``sample_every`` to keep long
+runs' traces small.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, TYPE_CHECKING, Any, Deque, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .summary import TelemetrySummary
+    from .telemetry import PeriodTrace
+
+__all__ = ["TelemetrySink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class TelemetrySink:
+    """Event receiver interface; the base class ignores everything."""
+
+    def on_span(self, name: str, seconds: float) -> None:
+        """One span closed, having taken ``seconds``."""
+
+    def on_period(self, trace: "PeriodTrace") -> None:
+        """One per-period structured trace event was recorded."""
+
+    def on_summary(self, summary: "TelemetrySummary") -> None:
+        """The owning Telemetry is closing; final aggregates attached."""
+
+    def close(self) -> None:
+        """Release any resources (files); further events are undefined."""
+
+
+class NullSink(TelemetrySink):
+    """Drops every event — the always-on default."""
+
+
+class MemorySink(TelemetrySink):
+    """Ring buffer of the most recent events, as plain dicts.
+
+    Events are shaped exactly like :class:`JsonlSink` lines (``type`` key
+    of ``span`` / ``period`` / ``summary``), so a test can assert against
+    memory what production would read back from a trace file.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def on_span(self, name: str, seconds: float) -> None:
+        self.events.append({"type": "span", "name": name, "seconds": seconds})
+
+    def on_period(self, trace: "PeriodTrace") -> None:
+        self.events.append({"type": "period", **trace.to_dict()})
+
+    def on_summary(self, summary: "TelemetrySummary") -> None:
+        self.events.append({"type": "summary", **summary.to_dict()})
+
+    def of_type(self, event_type: str) -> list:
+        """The buffered events of one type, oldest first."""
+        return [event for event in self.events if event["type"] == event_type]
+
+
+class JsonlSink(TelemetrySink):
+    """Streams events as JSON lines to a file.
+
+    ``sample_every`` thins *period* events (every Nth is written, always
+    including the first); spans are high-frequency and off by default —
+    the closing summary carries their aggregate either way.  ``label``
+    stamps every line with a run identifier so several runs can share one
+    trace file and still be told apart by the report tool.
+    """
+
+    def __init__(
+        self,
+        path_or_file: Union[str, "IO[str]"],
+        sample_every: int = 1,
+        write_spans: bool = False,
+        label: Optional[str] = None,
+    ):
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        if hasattr(path_or_file, "write"):
+            self._file: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path_or_file, "a", encoding="utf-8")
+            self._owns_file = True
+        self._sample_every = sample_every
+        self._write_spans = write_spans
+        self._label = label
+        self._periods_seen = 0
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        if self._label is not None:
+            payload["run"] = self._label
+        self._file.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def on_span(self, name: str, seconds: float) -> None:
+        if self._write_spans:
+            self._write({"type": "span", "name": name, "seconds": seconds})
+
+    def on_period(self, trace: "PeriodTrace") -> None:
+        if self._periods_seen % self._sample_every == 0:
+            self._write({"type": "period", **trace.to_dict()})
+        self._periods_seen += 1
+
+    def on_summary(self, summary: "TelemetrySummary") -> None:
+        self._write({"type": "summary", **summary.to_dict()})
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()

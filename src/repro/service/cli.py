@@ -97,6 +97,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     finally:
         service.close()
     metrics = service.metrics
+    if store is not None:
+        # Accumulate into the store's sidecar so a later
+        # ``stats --json`` reports service totals in the shared schema.
+        store.merge_service_counters(metrics.to_counters())
     print(
         f"{sweep.name}: {len(records)} records — "
         f"{metrics.store_hits} store hits, "
@@ -109,6 +113,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "sweep": sweep.name,
             "records": [record.to_dict() for record in records],
             "metrics": metrics.to_dict(),
+            "counters": metrics.to_counters(),
         }
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"[wrote {args.out}]")
@@ -135,13 +140,19 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = _store_for(args).stats()
+    store = _store_for(args)
+    stats = store.stats()
+    counters = store.service_counters()
     if args.json:
-        print(json.dumps(stats.to_dict(), indent=2))
+        # "counters" carries the accumulated ServiceMetrics in the shared
+        # dotted schema (service.*), aggregatable with engine telemetry.
+        print(json.dumps({**stats.to_dict(), "counters": counters}, indent=2))
         return 0
     print(f"store {stats.root} (schema v{stats.schema_version})")
     print(f"  entries: {stats.entries} ({stats.bytes} bytes)")
     print(f"  stale:   {stats.stale_entries} files ({stats.stale_bytes} bytes)")
+    for name in sorted(counters):
+        print(f"  {name}: {counters[name]}")
     return 0
 
 

@@ -104,6 +104,24 @@ class ServiceMetrics:
             "cache_hit_rate": self.cache_hit_rate(),
         }
 
+    def to_counters(self, prefix: str = "service.") -> Dict[str, int]:
+        """The monotone counters in the shared telemetry schema.
+
+        ``service.*`` keys with integer values — the same dotted schema
+        :class:`repro.obs.Telemetry` counters and
+        ``MessageStats.to_counters`` use, so service metrics merge into a
+        :class:`~repro.obs.TelemetrySummary` (gauges like ``queue_depth``
+        and derived rates stay in :meth:`to_dict`).
+        """
+        return {
+            f"{prefix}jobs_submitted": self.jobs_submitted,
+            f"{prefix}cells_submitted": self.cells_submitted,
+            f"{prefix}store_hits": self.store_hits,
+            f"{prefix}inflight_hits": self.inflight_hits,
+            f"{prefix}computed": self.computed,
+            f"{prefix}failed": self.failed,
+        }
+
 
 class SweepJob:
     """A submitted sweep: result future plus a per-cell progress stream."""

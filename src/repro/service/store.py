@@ -44,7 +44,12 @@ from ..api.specs import (
     canonical_json,
 )
 
-__all__ = ["RunStore", "StoreStats", "GCReport"]
+__all__ = ["RunStore", "StoreStats", "GCReport", "SERVICE_COUNTERS_FILENAME"]
+
+#: Sidecar file (inside the version directory, so GC keeps it) holding the
+#: accumulated ``ServiceMetrics.to_counters()`` totals of every submit
+#: against this store, in the shared dotted counter schema.
+SERVICE_COUNTERS_FILENAME = "service_counters.json"
 
 
 @dataclass(frozen=True)
@@ -184,16 +189,65 @@ class RunStore:
         return fingerprint
 
     # ------------------------------------------------------------------
+    # Service counter sidecar
+    # ------------------------------------------------------------------
+    def service_counters(self) -> Dict[str, int]:
+        """Accumulated service counters (shared schema), empty when none."""
+        path = self._version_dir / SERVICE_COUNTERS_FILENAME
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+        return {str(name): int(value) for name, value in payload.items()}
+
+    def merge_service_counters(self, counters: Dict[str, int]) -> Dict[str, int]:
+        """Fold one submit's counters into the sidecar, atomically.
+
+        Counters are monotone, so accumulation across submits is
+        well-defined; the atomic replace keeps concurrent submits from
+        tearing the file (one writer's addition can still be lost in a
+        race, which is acceptable for observability totals).
+        """
+        merged = self.service_counters()
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + int(value)
+        self._version_dir.mkdir(parents=True, exist_ok=True)
+        path = self._version_dir / SERVICE_COUNTERS_FILENAME
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".counters.", suffix=".tmp", dir=self._version_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(canonical_json(merged))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return merged
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
-        """Entry/byte counts, split into reachable vs stale."""
+        """Entry/byte counts, split into reachable vs stale.
+
+        The service-counter sidecar is bookkeeping, not a record: it is
+        excluded from both the live and the stale tallies.
+        """
         entries = live_bytes = stale_entries = stale_bytes = 0
         if self.root.is_dir():
             for dirpath, _dirnames, filenames in os.walk(self.root):
                 directory = Path(dirpath)
                 reachable = self._version_dir in (directory, *directory.parents)
                 for name in filenames:
+                    if (
+                        directory == self._version_dir
+                        and name == SERVICE_COUNTERS_FILENAME
+                    ):
+                        continue
                     size = (directory / name).stat().st_size
                     if reachable and name.endswith(".json"):
                         entries += 1
@@ -232,6 +286,11 @@ class RunStore:
                     else:
                         child.unlink()
             if self._version_dir.is_dir():
+                for tmp in self._version_dir.glob(".*.tmp"):
+                    removed_files += 1
+                    removed_bytes += tmp.stat().st_size
+                    if not dry_run:
+                        tmp.unlink()
                 for tmp in self._version_dir.glob("*/.*.tmp"):
                     removed_files += 1
                     removed_bytes += tmp.stat().st_size

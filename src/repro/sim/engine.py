@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..metrics.recovery import EventOutcome
+from ..obs import NULL_TELEMETRY, PeriodTrace, Telemetry, TelemetrySummary
 from .lifecycle import FaultInjector, LifecycleEvent, WorldChange
 from .world import World
 
@@ -76,6 +77,9 @@ class SimulationResult:
     #: Recovery metrics, one entry per fired lifecycle event.
     events: List[EventOutcome] = field(default_factory=list)
     world: Optional[World] = None
+    #: Phase-time breakdown + counter totals; ``None`` unless the engine
+    #: ran with an enabled Telemetry.
+    telemetry: Optional[TelemetrySummary] = None
 
     def messages_per_node(self) -> float:
         """Average protocol transmissions per sensor."""
@@ -91,21 +95,25 @@ class SimulationEngine:
         self,
         world: World,
         scheme: DeploymentScheme,
-        trace_every: int = 50,
+        trace_every: Optional[int] = 50,
         stop_on_convergence: bool = True,
         keep_world: bool = True,
         events: Sequence[LifecycleEvent] = (),
         recovery_target: float = 0.95,
         burst_window: int = 25,
+        telemetry: Optional[Telemetry] = None,
     ):
         self._world = world
         self._scheme = scheme
-        self._trace_every = max(1, trace_every)
+        # ``None`` disables periodic tracing entirely: no per-period
+        # coverage measurement is paid for a trace nobody asked for.
+        self._trace_every = None if trace_every is None else max(1, trace_every)
         self._stop_on_convergence = stop_on_convergence
         self._keep_world = keep_world
         self._events = tuple(events)
         self._recovery_target = recovery_target
         self._burst_window = burst_window
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @property
     def world(self) -> World:
@@ -116,7 +124,10 @@ class SimulationEngine:
         """Execute the simulation and return the aggregated result."""
         world = self._world
         scheme = self._scheme
-        scheme.initialize(world)
+        tel = self._telemetry
+        world.telemetry = tel
+        with tel.span("engine.initialize"):
+            scheme.initialize(world)
 
         trace: List[TraceRecord] = []
         converged_at: Optional[int] = None
@@ -135,24 +146,44 @@ class SimulationEngine:
             else None
         )
 
+        trace_every = self._trace_every
         for period in range(max_periods):
             world.period_index = period
-            if injector is not None and injector.fire(period):
-                # The world just changed; any earlier convergence is void.
-                converged_at = None
-            scheme.step(world)
+            if injector is not None:
+                with tel.span("engine.fault_injection"):
+                    fired = injector.fire(period)
+                if fired:
+                    # The world just changed; earlier convergence is void.
+                    converged_at = None
+            with tel.span("engine.scheme_step"):
+                scheme.step(world)
             world.time += world.config.period
             if injector is not None:
-                injector.observe(period)
+                with tel.span("engine.fault_injection"):
+                    injector.observe(period)
 
-            if (period + 1) % self._trace_every == 0 or period == max_periods - 1:
-                trace.append(
-                    TraceRecord(
+            if trace_every is not None and (
+                (period + 1) % trace_every == 0 or period == max_periods - 1
+            ):
+                with tel.span("engine.trace"):
+                    period_trace = PeriodTrace(
+                        period=period,
                         time=world.time,
                         coverage=world.coverage(),
                         average_moving_distance=world.average_moving_distance(),
                         total_messages=world.stats.total(),
                         connected_sensors=len(world.connected_sensor_ids()),
+                    )
+                # One mechanism: the same per-period event feeds both the
+                # result trace and the telemetry sink.
+                tel.record_period(period_trace)
+                trace.append(
+                    TraceRecord(
+                        time=period_trace.time,
+                        coverage=period_trace.coverage,
+                        average_moving_distance=period_trace.average_moving_distance,
+                        total_messages=period_trace.total_messages,
+                        connected_sensors=period_trace.connected_sensors,
                     )
                 )
 
@@ -169,7 +200,13 @@ class SimulationEngine:
         if trace and trace[-1].time == world.time:
             final_coverage = trace[-1].coverage
         else:
-            final_coverage = world.coverage()
+            with tel.span("engine.trace"):
+                final_coverage = world.coverage()
+        summary: Optional[TelemetrySummary] = None
+        if tel.enabled:
+            tel.count("engine.periods", world.period_index + 1)
+            tel.merge_counters(world.stats.to_counters())
+            summary = tel.summary()
         result = SimulationResult(
             scheme_name=scheme.name,
             final_coverage=final_coverage,
@@ -182,5 +219,6 @@ class SimulationEngine:
             trace=trace,
             events=injector.outcomes() if injector is not None else [],
             world=world if self._keep_world else None,
+            telemetry=summary,
         )
         return result

@@ -390,6 +390,9 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _apply(self, index: int, event: LifecycleEvent) -> None:
         world = self._world
+        if world.telemetry.enabled:
+            world.telemetry.count("lifecycle.events_fired", 1)
+            world.telemetry.count(f"lifecycle.events.{event.kind}", 1)
         pre_coverage = world.coverage()
         pre_distance = world.total_moving_distance()
         pre_messages = world.stats.total()
@@ -445,6 +448,11 @@ class FaultInjector:
                 if world.sensor(sid).is_alive()
             )
         )
+        if world.telemetry.enabled:
+            world.telemetry.count("lifecycle.sensors_failed", len(victims))
+            world.telemetry.count(
+                "lifecycle.sensors_disconnected", len(alive_disconnected)
+            )
         return WorldChange(
             kind="failure",
             failed_ids=tuple(victims),
@@ -458,6 +466,7 @@ class FaultInjector:
             world.add_sensor(pos).sensor_id
             for pos in draw_join_positions(world.field, event, rng)
         ]
+        world.telemetry.count("lifecycle.sensors_joined", len(added))
         return WorldChange(kind="join", added_ids=tuple(added))
 
     def _apply_obstacle(self, event: LifecycleEvent) -> WorldChange:

@@ -29,6 +29,7 @@ from ..network import (
     Radio,
     RoutingCostModel,
 )
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..sensors import Sensor, SensorState
 from ..spatial import IncrementalCoverage, NeighborCache
 from .config import SimulationConfig
@@ -58,6 +59,13 @@ class World:
     #: (and are compared against the fast paths by the spatial parity tests).
     use_neighbor_cache: bool = True
     use_incremental_coverage: bool = True
+    #: Telemetry distribution point: the engine installs its collector
+    #: here, so schemes / tree repair / fault injection reach it through
+    #: the world they already hold.  The shared null instance makes the
+    #: default a no-op.
+    telemetry: Telemetry = field(
+        default=NULL_TELEMETRY, repr=False, compare=False
+    )
     _neighbor_cache: Optional[NeighborCache] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -368,7 +376,11 @@ class World:
         self.population_version += 1
         if self._neighbor_cache is not None:
             self._neighbor_cache.invalidate()
-        disconnected = self._repair_tree_after_failure(sensor_id)
+        with self.telemetry.span("tree.repair"):
+            disconnected = self._repair_tree_after_failure(sensor_id)
+        if self.telemetry.enabled:
+            self.telemetry.count("tree.repairs", 1)
+            self.telemetry.count("tree.repair_dropped", len(disconnected))
         sensor.parent_id = None
         sensor.children = set()
         sensor.ancestors = []
@@ -465,4 +477,5 @@ class World:
         if anchor_id != BASE_STATION_ID:
             self.sensor(anchor_id).children.add(new_root)
         anchored.update(member_set)
+        self.telemetry.count("tree.repair_reattached", len(members))
         return True

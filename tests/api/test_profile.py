@@ -1,0 +1,122 @@
+"""Run-attached profiles: fingerprint invariance, determinism, round-trip."""
+
+import json
+
+from repro.api import (
+    RunRecord,
+    RunSpec,
+    ScenarioSpec,
+    SweepRunner,
+    TelemetrySummary,
+    execute_run,
+)
+
+
+def _scenario(seed=5, duration=20.0):
+    return ScenarioSpec(
+        field_size=300.0,
+        sensor_count=24,
+        communication_range=60.0,
+        sensing_range=40.0,
+        duration=duration,
+        coverage_resolution=15.0,
+        seed=seed,
+    )
+
+
+def _strip_telemetry(record):
+    payload = record.to_dict()
+    payload.pop("telemetry", None)
+    payload["spec"].pop("profile", None)
+    return payload
+
+
+class TestFingerprintInvariance:
+    def test_profile_does_not_change_fingerprint(self):
+        spec = RunSpec(scenario=_scenario(), scheme="CPVF")
+        assert spec.fingerprint() == spec.replace(profile=True).fingerprint()
+
+    def test_profile_survives_spec_roundtrip(self):
+        spec = RunSpec(scenario=_scenario(), scheme="CPVF", profile=True)
+        assert RunSpec.from_dict(spec.to_dict()).profile is True
+
+
+class TestProfiledExecution:
+    def test_profiled_run_attaches_summary(self):
+        record = execute_run(
+            RunSpec(scenario=_scenario(), scheme="CPVF", profile=True)
+        )
+        summary = record.telemetry
+        assert summary is not None
+        assert "engine.scheme_step" in summary.phases
+        assert summary.counters["engine.periods"] == record.periods_executed
+        assert summary.counters["messages.total"] == record.total_messages
+
+    def test_unprofiled_run_has_no_telemetry(self):
+        record = execute_run(RunSpec(scenario=_scenario(), scheme="CPVF"))
+        assert record.telemetry is None
+
+    def test_profiling_leaves_results_identical(self):
+        spec = RunSpec(scenario=_scenario(), scheme="CPVF", trace_every=5)
+        plain = execute_run(spec)
+        profiled = execute_run(spec.replace(profile=True))
+        assert _strip_telemetry(plain) == _strip_telemetry(profiled)
+
+    def test_vd_baseline_gets_execute_phase(self):
+        record = execute_run(
+            RunSpec(scenario=_scenario(duration=10.0), scheme="VOR", profile=True)
+        )
+        assert record.telemetry is not None
+        assert "run.execute" in record.telemetry.phases
+
+
+class TestCounterDeterminism:
+    def test_counter_totals_identical_across_job_counts(self):
+        scenario = _scenario(duration=15.0)
+        specs = [
+            RunSpec(
+                scenario=scenario.replace(seed=seed),
+                scheme="CPVF",
+                profile=True,
+            )
+            for seed in (1, 2, 3, 4)
+        ]
+        serial = SweepRunner(jobs=1).run(specs)
+        sharded = SweepRunner(jobs=2).run(specs)
+
+        def merged_counters(records):
+            merged = TelemetrySummary()
+            for record in records:
+                merged = merged.merge(record.telemetry)
+            return merged.counters
+
+        assert merged_counters(serial) == merged_counters(sharded)
+        # And the records agree wholesale on everything non-wall-clock.
+        assert [_strip_counter_free(r) for r in serial] == [
+            _strip_counter_free(r) for r in sharded
+        ]
+
+
+def _strip_counter_free(record):
+    payload = record.to_dict()
+    telemetry = payload.pop("telemetry")
+    return payload, telemetry["counters"], telemetry["gauges"]
+
+
+class TestRecordRoundTrip:
+    def test_telemetry_survives_json(self):
+        record = execute_run(
+            RunSpec(scenario=_scenario(), scheme="CPVF", profile=True)
+        )
+        restored = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert restored == record
+        assert restored.telemetry == record.telemetry
+
+    def test_legacy_payload_without_telemetry_key(self):
+        record = execute_run(RunSpec(scenario=_scenario(), scheme="CPVF"))
+        payload = record.to_dict()
+        payload.pop("telemetry")
+        payload["spec"].pop("profile")
+        restored = RunRecord.from_dict(payload)
+        assert restored.telemetry is None
+        assert restored.spec.profile is False

@@ -1,0 +1,123 @@
+"""Sinks and the report renderer: JSONL round-trip, sampling, timeline."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, PeriodTrace, Telemetry
+from repro.obs.report import (
+    format_summary,
+    format_timeline,
+    load_trace,
+    render_report,
+)
+from repro.obs.summary import TelemetrySummary
+
+
+def _trace(period, messages=0):
+    return PeriodTrace(
+        period=period,
+        time=float(period),
+        coverage=0.5,
+        average_moving_distance=1.0,
+        total_messages=messages,
+        connected_sensors=8,
+    )
+
+
+class TestJsonlSink:
+    def test_summary_jsonl_roundtrip(self):
+        buffer = io.StringIO()
+        tel = Telemetry(sink=JsonlSink(buffer))
+        with tel.span("phase.x"):
+            pass
+        tel.count("k", 7)
+        tel.gauge("g", 1.5)
+        expected = tel.close()
+
+        summaries, _periods = load_trace(buffer.getvalue().splitlines())
+        assert summaries == [expected]
+        assert isinstance(summaries[0], TelemetrySummary)
+
+    def test_sample_every_thins_periods(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, sample_every=3)
+        for period in range(7):
+            sink.on_period(_trace(period))
+        _summaries, periods = load_trace(buffer.getvalue().splitlines())
+        assert [p.period for p in periods] == [0, 3, 6]
+
+    def test_label_stamps_every_line(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, label="run-abc")
+        sink.on_period(_trace(0))
+        payload = json.loads(buffer.getvalue())
+        assert payload["run"] == "run-abc"
+
+    def test_spans_off_by_default(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.on_span("x", 0.001)
+        assert buffer.getvalue() == ""
+        noisy = io.StringIO()
+        JsonlSink(noisy, write_spans=True).on_span("x", 0.001)
+        assert json.loads(noisy.getvalue())["type"] == "span"
+
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), sample_every=0)
+
+    def test_owns_path_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(str(path))
+            sink.on_period(_trace(0))
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestMemorySink:
+    def test_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=2)
+        for period in range(3):
+            sink.on_period(_trace(period))
+        assert [e["period"] for e in sink.of_type("period")] == [1, 2]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+
+class TestReport:
+    def test_format_summary_lists_phases_and_counters(self):
+        tel = Telemetry()
+        with tel.span("engine.scheme_step"):
+            pass
+        tel.count("engine.periods", 5)
+        text = format_summary(tel.summary(), title="t")
+        assert "engine.scheme_step" in text
+        assert "engine.periods" in text
+
+    def test_format_timeline_burst_deltas(self):
+        periods = [_trace(0, messages=10), _trace(1, messages=40)]
+        text = format_timeline(periods, width=10)
+        # Second interval (30 new messages) gets the longest bar.
+        lines = text.splitlines()
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_format_timeline_empty(self):
+        assert "no period events" in format_timeline([])
+
+    def test_render_report_merges_multiple_summaries(self):
+        buffer = io.StringIO()
+        for _ in range(2):
+            tel = Telemetry(sink=JsonlSink(buffer))
+            tel.count("runs", 1)
+            tel.close()
+        report = render_report(buffer.getvalue().splitlines())
+        assert "runs" in report and "2" in report
+
+    def test_load_trace_skips_unknown_types(self):
+        lines = [json.dumps({"type": "future-thing", "x": 1})]
+        assert load_trace(lines) == ([], [])
