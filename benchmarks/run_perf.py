@@ -128,6 +128,15 @@ def _print_results(results: dict) -> None:
             f"t-recover={'-' if ttr is None else ttr} "
             f"extra={row['extra_distance']:.0f} m"
         )
+    for row in results.get("degraded_coverage", ()):
+        print(
+            f"degraded_coverage {row['scheme']} n={row['n']} "
+            f"loss={row['loss']:.0%}: run={row['run_ms']:.0f} ms "
+            f"retained={row['coverage_ratio']:.1%} "
+            f"overhead={row['message_overhead']:.2f}x "
+            f"(dropped={row['net_dropped']} retries={row['net_retries']} "
+            f"timeouts={row['net_timeouts']})"
+        )
 
 
 def main(argv=None) -> int:

@@ -29,6 +29,7 @@ Quick start::
               f"{record.coverage:.1%}")
 """
 
+from ..network import NetworkSpec
 from ..obs import TelemetrySummary
 from .registry import (
     Registry,
@@ -82,6 +83,7 @@ __all__ = [
     "run_fingerprint",
     "TracePoint",
     "TelemetrySummary",
+    "NetworkSpec",
     "RunSpec",
     "RunRecord",
     "SweepSpec",

@@ -140,6 +140,10 @@ class PeriodSchemeAdapter(SchemeAdapter):
         scenario = spec.scenario
         field = scenario.build_field()
         world = scenario.build_world(field)
+        if spec.network is not None:
+            # Structural specs build the shared perfect instance, so the
+            # assignment is behaviour-preserving in that case.
+            world.network = spec.network.build(scenario.seed)
         scheme = self.build_scheme(scenario, thaw_params(spec.scheme_params))
         engine = SimulationEngine(
             world,

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..metrics.recovery import EventOutcome
+from ..network import NETWORK_SCHEMA_VERSION, NetworkSpec
 from ..obs import TelemetrySummary
 from .scenario import Params, ScenarioSpec, freeze_params, thaw_params
 from .seeds import derive_seed
@@ -121,6 +122,14 @@ class RunSpec:
     #: not change the computation, so profiled and unprofiled sweeps
     #: share cache cells.
     profile: bool = False
+    #: Network delivery conditions (loss / latency / staleness).  ``None``
+    #: — and any *structural* spec (perfect model or all-degenerate
+    #: knobs) — means the pinned perfect network: such specs are omitted
+    #: from the fingerprint payload entirely, so pre-existing fingerprints
+    #: and store entries never move.  Non-structural specs are hashed in
+    #: (with :data:`~repro.network.NETWORK_SCHEMA_VERSION`), giving
+    #: degraded runs their own cache cells.
+    network: Optional[NetworkSpec] = None
     #: Free-form experiment bookkeeping (scenario label, sweep axis values,
     #: repetition index, ...); carried through to the record untouched.
     tags: Params = ()
@@ -148,6 +157,9 @@ class RunSpec:
             "trace_every": self.trace_every,
             "keep_positions": self.keep_positions,
             "profile": self.profile,
+            "network": (
+                self.network.to_dict() if self.network is not None else None
+            ),
             "tags": thaw_params(self.tags),
         }
 
@@ -155,6 +167,9 @@ class RunSpec:
     def from_dict(data: Mapping[str, Any]) -> "RunSpec":
         data = dict(data)
         data["scenario"] = ScenarioSpec.from_dict(data["scenario"])
+        # Back-compat: pre-conditions payloads have no "network" key.
+        network = data.get("network")
+        data["network"] = NetworkSpec.from_dict(network) if network else None
         return RunSpec(**data)
 
     # ------------------------------------------------------------------
@@ -172,6 +187,15 @@ class RunSpec:
         data = self.to_dict()
         del data["tags"]
         del data["profile"]
+        if self.network is None or self.network.is_structural():
+            # A structural network is the seed behaviour; omitting it keeps
+            # pre-conditions fingerprints (and cached records) valid.
+            del data["network"]
+        else:
+            data["network"] = {
+                "version": NETWORK_SCHEMA_VERSION,
+                **self.network.to_dict(),
+            }
         return data
 
     def fingerprint(self) -> str:
@@ -338,6 +362,7 @@ class SweepSpec:
         trace_every: Optional[int] = None,
         keep_positions: bool = False,
         profile: bool = False,
+        network: Optional[NetworkSpec] = None,
         tags: Union[Mapping[str, Any], Params, None] = None,
     ) -> "SweepSpec":
         """Expand a cartesian grid of scenario overrides into runs.
@@ -382,6 +407,7 @@ class SweepSpec:
                             trace_every=trace_every,
                             keep_positions=keep_positions,
                             profile=profile,
+                            network=network,
                             tags=run_tags,
                         )
                     )

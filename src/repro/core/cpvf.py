@@ -130,6 +130,9 @@ class CPVFScheme(DeploymentScheme):
         self._link_ids_version: Optional[int] = None
         self._link_ids: Dict[int, tuple] = {}
         self._schedule: Optional[TreeSchedule] = None
+        #: Lock requests in flight under network latency: sensor id ->
+        #: period at which the (delayed) lock grant arrives.
+        self._pending_locks: Dict[int, int] = {}
 
     @property
     def mode(self) -> str:
@@ -163,6 +166,7 @@ class CPVFScheme(DeploymentScheme):
         self._link_ids = {}
         self._link_ids_version = None
         self._schedule = None
+        self._pending_locks = {}
         self._bootstrap_connectivity(world)
         for sensor in world.sensors:
             if sensor.state is SensorState.DISCONNECTED:
@@ -185,15 +189,28 @@ class CPVFScheme(DeploymentScheme):
             world.attach_to_tree(sid, BASE_STATION_ID)
             frontier.append(sid)
         attached = set(near_base)
+        net = world.network
+        retransmissions = 0
         while frontier:
             current = frontier.pop(0)
             for nb in table.get(current, []):
                 if nb in attached or nb not in component:
                     continue
+                if net.lossy:
+                    # Each flood edge retransmits with backoff up to the
+                    # delivery budget; a node the flood never reaches stays
+                    # disconnected and re-joins through the per-period
+                    # connectivity stage instead.
+                    delivered, attempts = net.exchange(
+                        world, ("flood", current, nb), 1
+                    )
+                    retransmissions += attempts - 1
+                    if not delivered:
+                        continue
                 world.attach_to_tree(nb, current)
                 attached.add(nb)
                 frontier.append(nb)
-        world.routing.record_flood(len(attached))
+        world.routing.record_flood(len(attached) + retransmissions)
 
     # ------------------------------------------------------------------
     # Per-period execution
@@ -212,12 +229,15 @@ class CPVFScheme(DeploymentScheme):
                 if s.is_alive() and not s.is_connected()
             ]
             if disconnected:
-                table = world.neighbor_rows(disconnected)
+                table = world.protocol_neighbor_rows(disconnected)
                 self._connect_reachable_sensors(world, table)
                 self._advance_disconnected_sensors(world, table)
             self._apply_virtual_forces_batched(world)
             return
-        table = world.neighbor_table()
+        # Protocol decisions read the table through the network model (a
+        # live pass-through by default, aged under staleness); physics —
+        # the batched pair arrays, coverage, connectivity — stays live.
+        table = world.protocol_neighbor_table()
         self._connect_reachable_sensors(world, table)
         self._advance_disconnected_sensors(world, table)
         self._apply_virtual_forces(world, table)
@@ -252,11 +272,17 @@ class CPVFScheme(DeploymentScheme):
         base_dist = sensor.position.distance_to(world.base_station)
         if base_dist <= world.config.communication_range:
             best, best_dist = BASE_STATION_ID, base_dist
+        rc_limit = sensor.communication_range + 1e-9
         for nb_id in table.get(sensor.sensor_id, []):
             nb = world.sensor(nb_id)
             if not nb.is_connected():
                 continue
             dist = sensor.position.distance_to(nb.position)
+            # Live-range revalidation: a stale table entry may have moved
+            # out of range since the last refresh (no-op when the table is
+            # live — its entries are in range by construction).
+            if dist > rc_limit:
+                continue
             if dist < best_dist:
                 best, best_dist = nb_id, dist
         return best
@@ -775,9 +801,8 @@ class CPVFScheme(DeploymentScheme):
 
         if subtree is None:
             subtree = world.tree.subtree_of(sid)
-        world.routing.record_subtree_lock(
-            world.tree, sid, subtree_size=len(subtree)
-        )
+        if not self._acquire_subtree_lock(world, sid, len(subtree)):
+            return 0.0
 
         norm = math.hypot(direction.x, direction.y)
         if norm <= EPS or config.max_step <= 0.0:
@@ -816,6 +841,10 @@ class CPVFScheme(DeploymentScheme):
         avoidance, and commit the move (the shared per-sensor tail of all
         three execution modes)."""
         assert self._avoidance is not None
+        # A sensor that found a way to move no longer needs the lock grant
+        # it was waiting for; drop it so a later block starts a fresh
+        # handshake instead of consuming a stale grant.
+        self._pending_locks.pop(sensor.sensor_id, None)
         # Respect obstacles and the field boundary.
         step = world.field.max_free_travel(sensor.position, direction, step)
         # Inlined `position + direction.normalized() * step`.
@@ -890,6 +919,75 @@ class CPVFScheme(DeploymentScheme):
             required.append(NeighborMotion.stationary(world.sensor(child).position))
         return required
 
+    def _subtree_lock_depth(self, world: World, root: int) -> int:
+        """BFS depth of the subtree rooted at ``root`` (0 for a leaf).
+
+        The LockTree wave serializes along the deepest root-to-leaf path:
+        the grant cannot be issued until the farthest descendant has
+        acknowledged, so the handshake's loss-critical transmission count
+        grows with this depth, not with the subtree size.
+        """
+        tree = world.tree
+        depth = 0
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for child in tree.children.get(node, ()):
+                    if child not in seen:
+                        seen.add(child)
+                        next_frontier.append(child)
+            if next_frontier:
+                depth += 1
+            frontier = next_frontier
+        return depth
+
+    def _acquire_subtree_lock(
+        self, world: World, sensor_id: int, subtree_size: int
+    ) -> bool:
+        """Run the LockTree/UnLockTree handshake through the network model.
+
+        Perfect network: charge the handshake and grant immediately (the
+        seed behaviour).  Under latency the request is parked and the
+        grant arrives ``latency`` periods later; under loss the critical
+        down-and-back wave (2 * depth + 2 transmissions) retries with
+        exponential backoff up to the delivery budget.  A timed-out
+        handshake aborts to the safe state — the caller keeps the current
+        parent and holds position, preserving the paper's serialization
+        requirement.
+        """
+        net = world.network
+        if net.is_perfect:
+            world.routing.record_subtree_lock(
+                world.tree, sensor_id, subtree_size=subtree_size
+            )
+            return True
+        if net.latency > 0:
+            due = self._pending_locks.get(sensor_id)
+            if due is None:
+                self._pending_locks[sensor_id] = (
+                    world.period_index + net.latency
+                )
+                world.stats.record_net("delayed", net.latency)
+                return False
+            if world.period_index < due:
+                return False
+            del self._pending_locks[sensor_id]
+        delivered, attempts = True, 1
+        if net.lossy:
+            depth = self._subtree_lock_depth(world, sensor_id)
+            delivered, attempts = net.exchange(
+                world, ("cpvf.lock", sensor_id), 2 * depth + 2
+            )
+        # Every attempt re-runs the whole lock/unlock wave on the air.
+        world.routing.record_subtree_lock(
+            world.tree, sensor_id, subtree_size=subtree_size, attempts=attempts
+        )
+        if not delivered:
+            world.telemetry.count("cpvf.lock_aborts", 1)
+        return delivered
+
     def _try_parent_change(
         self,
         world: World,
@@ -917,7 +1015,10 @@ class CPVFScheme(DeploymentScheme):
         if not candidates:
             return 0.0
 
-        world.routing.record_subtree_lock(world.tree, sensor.sensor_id)
+        if not self._acquire_subtree_lock(
+            world, sensor.sensor_id, len(subtree)
+        ):
+            return 0.0
 
         if not self._vectorized:
             return self._best_parent_ladder(world, sensor, direction, candidates)
@@ -1035,8 +1136,10 @@ class CPVFScheme(DeploymentScheme):
                     sensor.motion.stop()
         for sid in change.failed_ids:
             self._lazy.stop_waiting(world.sensor(sid))
+            self._pending_locks.pop(sid, None)
         for sid in chain(change.disconnected_ids, change.added_ids):
             sensor = world.sensor(sid)
+            self._pending_locks.pop(sid, None)
             if not sensor.is_alive() or sensor.is_connected():
                 continue
             sensor.state = SensorState.MOVING_TO_CONNECT

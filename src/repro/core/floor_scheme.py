@@ -110,6 +110,12 @@ class FloorScheme(DeploymentScheme):
         #: Relocating sensors: sensor id -> (target EP, inviter id).
         self._relocations: Dict[int, ExpansionPoint] = {}
         self._virtual_counter: int = 0
+        #: Relocations granted but not yet started under network latency:
+        #: ``(due_period, movable_id, ep)`` entries drained each period.
+        self._deferred_starts: List[tuple] = []
+        #: Movable sensors with a deferred start in flight (excluded from
+        #: new invitation rounds until the start fires or is cancelled).
+        self._pending_movables: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -142,6 +148,8 @@ class FloorScheme(DeploymentScheme):
         self._active_searchers.clear()
         self._virtual_positions.clear()
         self._relocations.clear()
+        self._deferred_starts.clear()
+        self._pending_movables.clear()
 
         self._bootstrap_connectivity(world)
         for sensor in world.sensors:
@@ -161,15 +169,26 @@ class FloorScheme(DeploymentScheme):
             world.attach_to_tree(sid, BASE_STATION_ID)
             frontier.append(sid)
         attached = set(near_base)
+        net = world.network
+        retransmissions = 0
         while frontier:
             current = frontier.pop(0)
             for nb in table.get(current, []):
                 if nb in attached or nb not in component:
                     continue
+                if net.lossy:
+                    # Flood edges retransmit with backoff up to the budget;
+                    # nodes the flood misses re-join through phase 1.
+                    delivered, attempts = net.exchange(
+                        world, ("flood", current, nb), 1
+                    )
+                    retransmissions += attempts - 1
+                    if not delivered:
+                        continue
                 world.attach_to_tree(nb, current)
                 attached.add(nb)
                 frontier.append(nb)
-        world.routing.record_flood(len(attached))
+        world.routing.record_flood(len(attached) + retransmissions)
 
     def _plan_connect_trajectory(self, world: World, sensor: Sensor) -> Bug2Path:
         """Algorithm 1: the three-leg BUG2 trajectory toward the base station."""
@@ -199,7 +218,10 @@ class FloorScheme(DeploymentScheme):
     # ------------------------------------------------------------------
     def step(self, world: World) -> None:
         assert self._lazy is not None
-        table = world.neighbor_table()
+        # Protocol decisions read the table through the network model
+        # (live pass-through by default, aged under staleness); coverage
+        # and connectivity metrics stay on live state.
+        table = world.protocol_neighbor_table()
         self._connect_reachable_sensors(world, table)
         self._advance_disconnected_sensors(world, table)
 
@@ -214,6 +236,7 @@ class FloorScheme(DeploymentScheme):
                 if sensor.state is SensorState.CONNECTED:
                     sensor.state = SensorState.MOVABLE
             tel = world.telemetry
+            self._start_due_relocations(world)
             with tel.span("floor.relocations"):
                 self._advance_relocations(world)
             with tel.span("floor.expansion_round"):
@@ -433,6 +456,34 @@ class FloorScheme(DeploymentScheme):
         return (exclusive / samples) < self._movable_threshold
 
     # -- Phase 3: expanding coverage ------------------------------------
+    def _start_due_relocations(self, world: World) -> None:
+        """Fire deferred relocation starts whose latency has elapsed.
+
+        Under network latency an acknowledged invitation does not reach
+        the movable sensor instantly; the start is parked and fires here
+        once its due period arrives.  A sensor that lost its movable
+        status in the meantime (failed, re-dispatched by churn) simply
+        drops the grant.
+        """
+        if not self._deferred_starts:
+            return
+        period = world.period_index
+        due = [entry for entry in self._deferred_starts if entry[0] <= period]
+        if not due:
+            return
+        self._deferred_starts = [
+            entry for entry in self._deferred_starts if entry[0] > period
+        ]
+        for _, movable_id, ep in due:
+            self._pending_movables.discard(movable_id)
+            sensor = world.sensor(movable_id)
+            if (
+                sensor.is_alive()
+                and sensor.state is SensorState.MOVABLE
+                and movable_id not in self._relocations
+            ):
+                self._start_relocation(world, movable_id, ep)
+
     def _advance_relocations(self, world: World) -> None:
         assert self._registry is not None
         arrived: List[int] = []
@@ -537,7 +588,9 @@ class FloorScheme(DeploymentScheme):
         movable = [
             s
             for s in world.sensors
-            if s.state is SensorState.MOVABLE and s.sensor_id not in self._relocations
+            if s.state is SensorState.MOVABLE
+            and s.sensor_id not in self._relocations
+            and s.sensor_id not in self._pending_movables
         ]
         connected_count = len(world.connected_sensor_ids())
         if world.telemetry.enabled:
@@ -546,13 +599,27 @@ class FloorScheme(DeploymentScheme):
                 "floor.invitations_issued", len(expansion_points)
             )
         assignments = self._invitations.run_round(
-            expansion_points, movable, connected_count, world.tree
+            expansion_points, movable, connected_count, world.tree,
+            world=world,
         )
         world.telemetry.count("floor.relocations_started", len(assignments))
 
-        # 3. Accepted movable sensors start relocating.
+        # 3. Accepted movable sensors start relocating — immediately on
+        #    the perfect network, after ``latency`` periods otherwise.
+        net = world.network
         for assignment in assignments:
-            self._start_relocation(world, assignment.movable_id, assignment.expansion_point)
+            if net.latency > 0:
+                world.stats.record_net("delayed", net.latency)
+                self._deferred_starts.append((
+                    world.period_index + net.latency,
+                    assignment.movable_id,
+                    assignment.expansion_point,
+                ))
+                self._pending_movables.add(assignment.movable_id)
+            else:
+                self._start_relocation(
+                    world, assignment.movable_id, assignment.expansion_point
+                )
 
     def _start_relocation(
         self, world: World, movable_id: int, ep: ExpansionPoint
@@ -584,10 +651,11 @@ class FloorScheme(DeploymentScheme):
         children = list(world.tree.children_of(sensor.sensor_id))
         if not children:
             return True
-        table = world.neighbor_table()
+        table = world.protocol_neighbor_table()
         for child in children:
             child_sensor = world.sensor(child)
             subtree = world.tree.subtree_of(child)
+            rc_limit = child_sensor.communication_range + 1e-9
             candidates: List[int] = []
             if (
                 child_sensor.position.distance_to(world.base_station)
@@ -598,8 +666,17 @@ class FloorScheme(DeploymentScheme):
                 if candidate == sensor.sensor_id or candidate in subtree:
                     continue
                 candidate_sensor = world.sensor(candidate)
-                if candidate_sensor.is_connected() and candidate in world.tree:
-                    candidates.append(candidate)
+                if not candidate_sensor.is_connected() or candidate not in world.tree:
+                    continue
+                # Live-range revalidation: a stale table entry may have
+                # drifted out of range; adopting it would put a broken
+                # link into the tree (no-op when the table is live).
+                if (
+                    child_sensor.position.distance_to(candidate_sensor.position)
+                    > rc_limit
+                ):
+                    continue
+                candidates.append(candidate)
             reparented = False
             for candidate in candidates:
                 if world.reparent_in_tree(child, candidate):
@@ -632,6 +709,7 @@ class FloorScheme(DeploymentScheme):
             self._lazy.stop_waiting(sensor)
             self._registry.unregister(sid)
             self._active_searchers.discard(sid)
+            self._drop_deferred_start(sid)
             ep = self._relocations.pop(sid, None)
             if ep is not None:
                 self._remove_virtual_for(ep)
@@ -641,6 +719,7 @@ class FloorScheme(DeploymentScheme):
                 continue
             self._registry.unregister(sid)
             self._active_searchers.discard(sid)
+            self._drop_deferred_start(sid)
             ep = self._relocations.pop(sid, None)
             if ep is not None:
                 self._remove_virtual_for(ep)
@@ -661,6 +740,15 @@ class FloorScheme(DeploymentScheme):
                     # Connection walks re-plan lazily on the next period.
                     sensor.motion.stop()
 
+    def _drop_deferred_start(self, sensor_id: int) -> None:
+        """Cancel any latency-deferred relocation start for a sensor."""
+        if sensor_id in self._pending_movables:
+            self._pending_movables.discard(sensor_id)
+            self._deferred_starts = [
+                entry for entry in self._deferred_starts
+                if entry[1] != sensor_id
+            ]
+
     # ------------------------------------------------------------------
     # Convergence
     # ------------------------------------------------------------------
@@ -668,7 +756,7 @@ class FloorScheme(DeploymentScheme):
         """FLOOR converges once nothing is moving and nothing is searching."""
         if self._phase != 3:
             return False
-        if self._relocations:
+        if self._relocations or self._deferred_starts:
             return False
         if any(
             not s.is_connected() for s in world.sensors if s.is_alive()

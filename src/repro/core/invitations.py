@@ -57,6 +57,7 @@ class InvitationProtocol:
         movable_sensors: Sequence[Sensor],
         connected_count: int,
         tree: ConnectivityTree,
+        world=None,
     ) -> List[InvitationAssignment]:
         """Match advertised EPs with movable sensors for this period.
 
@@ -64,21 +65,50 @@ class InvitationProtocol:
         of whether anyone answers, which is what dominates FLOOR's message
         overhead).  Returns the accepted assignments; each movable sensor
         and each EP appears at most once.
+
+        ``world`` (optional) supplies the network-condition model.  Under
+        a lossy network an invitation walk can die mid-walk (shrinking the
+        reach of that EP's advertisement), an ``AcceptInvitation`` can be
+        lost after its retry budget (the sensor simply tries again next
+        round), and an ``Acknowledge`` can time out — the assignment is
+        then cancelled before any relocation or registry slot is created.
+        Without a world, or under the perfect network, the code path is
+        the seed's, draw for draw.
         """
         if not expansion_points:
             return []
 
-        # 1. Every advertised EP pays for its TTL-bounded random walk.
-        for _ in expansion_points:
-            self.routing.record_random_walk(self.ttl, MessageType.INVITATION)
+        net = world.network if world is not None else None
+        lossy = net is not None and net.lossy
+
+        # 1. Every advertised EP pays for its TTL-bounded random walk.  A
+        #    lossy walk stops at its first dropped hop (the lost
+        #    transmission itself is still charged); the surviving hop
+        #    count shrinks that EP's advertisement reach below.
+        if lossy:
+            walk_hops: List[int] = []
+            for index, ep in enumerate(expansion_points):
+                hops = net.walk_hops(
+                    world, ("floor.walk", index, ep.owner_id), self.ttl
+                )
+                walk_hops.append(hops)
+                self.routing.record_random_walk(
+                    min(self.ttl, hops + 1), MessageType.INVITATION
+                )
+        else:
+            walk_hops = [self.ttl] * len(expansion_points)
+            for _ in expansion_points:
+                self.routing.record_random_walk(
+                    self.ttl, MessageType.INVITATION
+                )
 
         if not movable_sensors or connected_count <= 0:
             return []
 
         # 2. Determine which movable sensors each invitation reached.
-        reach_probability = min(1.0, self.ttl / max(1, connected_count))
         received: Dict[int, List[ExpansionPoint]] = {}
-        for ep in expansion_points:
+        for ep, hops in zip(expansion_points, walk_hops):
+            reach_probability = min(1.0, hops / max(1, connected_count))
             for sensor in movable_sensors:
                 if self.rng.random() <= reach_probability:
                     received.setdefault(sensor.sensor_id, []).append(ep)
@@ -95,11 +125,23 @@ class InvitationProtocol:
                     sensor.position.distance_to(ep.position),
                 ),
             )
-            acceptances.append((movable_id, best))
-            # AcceptInvitation travels back to the inviter over the tree.
+            # AcceptInvitation travels back to the inviter over the tree;
+            # every retry re-sends the whole route.
+            attempts, delivered = 1, True
+            if lossy:
+                delivered, attempts = net.exchange(
+                    world,
+                    ("floor.accept", movable_id, best.owner_id),
+                    max(1, self.routing.tree_route_hops(
+                        tree, movable_id, best.owner_id
+                    )),
+                )
             self.routing.record_tree_unicast(
-                tree, movable_id, best.owner_id, MessageType.ACCEPT_INVITATION
+                tree, movable_id, best.owner_id,
+                MessageType.ACCEPT_INVITATION, attempts=attempts,
             )
+            if delivered:
+                acceptances.append((movable_id, best))
 
         # 4. Inviters acknowledge the first acceptance per EP; later ones are
         #    rejected (their senders will simply try again next period).
@@ -112,9 +154,24 @@ class InvitationProtocol:
         )
         for movable_id, ep in acceptances:
             ep_key = (ep.owner_id, round(ep.position.x, 6), round(ep.position.y, 6))
+            attempts, delivered = 1, True
+            if lossy:
+                delivered, attempts = net.exchange(
+                    world,
+                    ("floor.ack", movable_id, ep.owner_id),
+                    max(1, self.routing.tree_route_hops(
+                        tree, ep.owner_id, movable_id
+                    )),
+                )
             self.routing.record_tree_unicast(
-                tree, ep.owner_id, movable_id, MessageType.ACKNOWLEDGE
+                tree, ep.owner_id, movable_id,
+                MessageType.ACKNOWLEDGE, attempts=attempts,
             )
+            if not delivered:
+                # Acknowledgement timed out: the movable sensor never
+                # learns it was chosen, so no relocation starts, the EP
+                # stays available and no registry slot is consumed.
+                continue
             if ep_key in taken_eps or movable_id in assigned_sensors:
                 continue
             taken_eps.add(ep_key)

@@ -81,6 +81,13 @@ from .common import (
     make_world,
     run_scheme,
 )
+from .degradation import (
+    DegradationRow,
+    format_degradation,
+    rows_degradation,
+    run_degradation,
+    sweep_degradation,
+)
 from .fig3 import Fig3Row, format_fig3, rows_fig3, run_fig3, sweep_fig3
 from .fig8 import format_fig8, rows_fig8, run_fig8, sweep_fig8
 from .fig9 import Fig9Row, format_fig9, rows_fig9, run_fig9, sweep_fig9
@@ -186,6 +193,11 @@ __all__ = [
     "rows_lifecycle",
     "run_lifecycle",
     "format_lifecycle",
+    "DegradationRow",
+    "sweep_degradation",
+    "rows_degradation",
+    "run_degradation",
+    "format_degradation",
     # Runner
     "Experiment",
     "EXPERIMENTS",

@@ -41,6 +41,7 @@ __all__ = [
     "measure_sweep_service",
     "measure_scenario_generation",
     "measure_lifecycle_recovery",
+    "measure_degraded_coverage",
     "run_perf_suite",
     "PERF_ENTRIES",
 ]
@@ -654,6 +655,74 @@ def measure_lifecycle_recovery(seed: int = 3) -> List[Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Degraded coverage (unreliable-network backend)
+# ----------------------------------------------------------------------
+def measure_degraded_coverage(
+    seed: int = 3, loss: float = 0.1
+) -> List[Dict[str, float]]:
+    """Coverage retained under packet loss, per paper scheme.
+
+    Runs both connectivity-aware schemes at the bench scale twice on the
+    same scenario — once on the perfect network and once under
+    ``loss`` per-message drop probability with the default retry budget —
+    timing the degraded run and asserting the robustness contract while
+    measuring: each scheme must retain at least 85% of its own
+    perfect-network coverage.  The degraded run is profiled so the row
+    also carries the ``net.*`` counters (drops, retries, timeouts) that
+    explain the message overhead.
+    """
+    from ..api import NetworkSpec, RunSpec, execute_run
+    from .common import BENCH_SCALE
+    from .common import make_scenario as _make_scenario
+
+    scenario = _make_scenario(BENCH_SCALE, seed=seed)
+    network = NetworkSpec(model="unreliable", loss=loss)
+    rows: List[Dict[str, float]] = []
+    for scheme in ("CPVF", "FLOOR"):
+        perfect = execute_run(RunSpec(scenario=scenario, scheme=scheme))
+        start = time.perf_counter()
+        degraded = execute_run(
+            RunSpec(
+                scenario=scenario, scheme=scheme, network=network, profile=True
+            )
+        )
+        elapsed = time.perf_counter() - start
+        ratio = (
+            degraded.coverage / perfect.coverage
+            if perfect.coverage > 0
+            else 0.0
+        )
+        if ratio < 0.85:
+            raise AssertionError(
+                f"{scheme} retained only {ratio:.1%} of its perfect-network "
+                f"coverage at {loss:.0%} loss (contract: >= 85%)"
+            )
+        counters = (
+            degraded.telemetry.counters if degraded.telemetry is not None else {}
+        )
+        rows.append(
+            {
+                "scheme": scheme,
+                "n": scenario.sensor_count,
+                "loss": loss,
+                "run_ms": elapsed * 1000.0,
+                "perfect_coverage": perfect.coverage,
+                "degraded_coverage": degraded.coverage,
+                "coverage_ratio": ratio,
+                "message_overhead": (
+                    degraded.total_messages / perfect.total_messages
+                    if perfect.total_messages > 0
+                    else 0.0
+                ),
+                "net_dropped": counters.get("net.dropped", 0),
+                "net_retries": counters.get("net.retries", 0),
+                "net_timeouts": counters.get("net.timeouts", 0),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Full suite
 # ----------------------------------------------------------------------
 #: Default population sizes of the classic (seed-vs-fast) entries and of
@@ -688,6 +757,7 @@ PERF_ENTRIES: Dict[str, Callable] = {
     "sweep_service": lambda ns, seed: [measure_sweep_service(seed=seed)],
     "scenario_generation": lambda ns, seed: measure_scenario_generation(),
     "lifecycle_recovery": lambda ns, seed: measure_lifecycle_recovery(seed=seed),
+    "degraded_coverage": lambda ns, seed: measure_degraded_coverage(seed=seed),
 }
 
 

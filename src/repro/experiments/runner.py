@@ -41,6 +41,7 @@ from ..api import RunRecord, SweepRunner, SweepSpec, thaw_params
 from ..obs import TelemetrySummary
 from ..obs.report import format_summary, write_record_trace
 from .common import BENCH_SCALE, FULL_SCALE, SMOKE_SCALE, ExperimentScale
+from .degradation import format_degradation, rows_degradation, sweep_degradation
 from .fig3 import format_fig3_records, sweep_fig3
 from .fig8 import format_fig8_records, sweep_fig8
 from .fig9 import format_fig9, rows_fig9, sweep_fig9
@@ -119,6 +120,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "lifecycle",
             lambda scale, seed, trace: sweep_lifecycle(scale, seed=seed, trace_every=trace),
             lambda records: format_lifecycle(rows_lifecycle(records)),
+        ),
+        Experiment(
+            "degradation",
+            lambda scale, seed, trace: sweep_degradation(scale, seed=seed, trace_every=trace),
+            lambda records: format_degradation(rows_degradation(records)),
         ),
     )
 }

@@ -1,7 +1,15 @@
-"""Network substrate: radio model, messages, connectivity tree, routing costs."""
+"""Network substrate: radio model, messages, conditions, tree, routing costs."""
 
-from .messages import Message, MessageType
-from .radio import Radio
+from .conditions import (
+    NETWORK_SCHEMA_VERSION,
+    NetworkModel,
+    NetworkSpec,
+    PERFECT_NETWORK,
+    PerfectNetwork,
+    UnreliableNetwork,
+)
+from .messages import Message, MessageType, NET_COUNTER_KEYS
+from .radio import LINK_EPS, Radio
 from .routing import RoutingCostModel
 from .stats import MessageStats
 from .tree import BASE_STATION_ID, ConnectivityTree
@@ -9,6 +17,14 @@ from .tree import BASE_STATION_ID, ConnectivityTree
 __all__ = [
     "Message",
     "MessageType",
+    "NET_COUNTER_KEYS",
+    "NETWORK_SCHEMA_VERSION",
+    "NetworkModel",
+    "NetworkSpec",
+    "PERFECT_NETWORK",
+    "PerfectNetwork",
+    "UnreliableNetwork",
+    "LINK_EPS",
     "Radio",
     "RoutingCostModel",
     "MessageStats",

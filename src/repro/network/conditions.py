@@ -1,0 +1,353 @@
+"""Pluggable network-condition models: perfect vs unreliable delivery.
+
+The seed repository counts messages *structurally*: delivery is instant and
+lossless, and neighbour tables are read straight from the world.  This
+module makes delivery conditions a first-class, configurable axis behind
+the existing ``network/`` interfaces:
+
+``PerfectNetwork``
+    The pinned default.  Every call is a pass-through to the structural
+    path, so runs without a :class:`NetworkSpec` (or with a structural
+    one) stay byte-identical to the seed behaviour.
+
+``UnreliableNetwork``
+    Applies seed-deterministic per-message loss, per-hop latency (in
+    periods) and neighbour-table staleness (tables are refreshed every
+    ``staleness`` periods instead of read live, so schemes act on aged
+    positions — the ``position_update_interval`` idiom).
+
+Determinism contract: every random draw is made on a private
+``random.Random`` derived via blake2b from ``(seed, period, message key)``
+— the same construction as the fault injector's per-event streams — never
+from a shared stream.  Two consequences:
+
+* the world RNG (``world.rng``) is never touched, so enabling the
+  unreliable model does not perturb scheme-side draws, and
+* outcomes are independent of evaluation order, so sweeps parallelised
+  over jobs produce identical results to serial runs.
+
+Condition events are recorded through ``MessageStats.record_net`` under
+the dotted keys in :data:`~repro.network.messages.NET_COUNTER_KEYS` and
+surface as ``net.*`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "NETWORK_SCHEMA_VERSION",
+    "NetworkModel",
+    "NetworkSpec",
+    "PerfectNetwork",
+    "PERFECT_NETWORK",
+    "UnreliableNetwork",
+]
+
+#: Version of the serialized :class:`NetworkSpec` payload.  Hashed into the
+#: run fingerprint whenever a non-structural spec is attached (structural
+#: specs are omitted entirely so default fingerprints never move).
+NETWORK_SCHEMA_VERSION = 1
+
+_MODELS = ("perfect", "unreliable")
+
+
+def _derive_rng(base_seed: int, *keys) -> random.Random:
+    """Private RNG stream for one message event (blake2b over the keys).
+
+    Mirrors ``repro.sim.lifecycle._derive_rng`` / ``repro.api.seeds
+    .derive_seed``: distinct key tuples yield independent-looking streams,
+    the same tuple always yields the same stream.
+    """
+    payload = repr((int(base_seed),) + tuple(keys)).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big") >> 33)
+
+
+class NetworkModel:
+    """Delivery-condition strategy consulted by the protocol layers.
+
+    The base class *is* the perfect network: every hook is a structural
+    pass-through.  Subclasses override the hooks they degrade.  Models are
+    consulted only at protocol decision points; physics (movement,
+    sensing/coverage, the unit-disk link predicate itself) always reads
+    live state.
+
+    ``exchange`` is the timeout/retry primitive: one call models a
+    round-trip whose ``critical_transmissions`` sends must *all* arrive
+    for the round-trip to count as delivered.  Retries retransmit (the
+    optional ``retry_charge`` callback lets the caller charge the repeat
+    cost to :class:`~repro.network.stats.MessageStats`), back off
+    exponentially, and give up after the delivery budget is exhausted —
+    callers then abort to their safe state.
+    """
+
+    #: True only for the structural pass-through model.
+    is_perfect: bool = True
+    #: Whether messages can be dropped (gates the hardened code paths).
+    lossy: bool = False
+    #: Per-hop delivery latency in whole periods (0 = instantaneous).
+    latency: int = 0
+    #: Neighbour-table refresh interval in periods (<= 1 = read live).
+    staleness: int = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def on_period(self, world) -> None:
+        """Hook invoked by the engine at the start of every period."""
+
+    # ------------------------------------------------------------------
+    # Neighbour state
+    # ------------------------------------------------------------------
+    def neighbor_table(self, world) -> Dict[int, List[int]]:
+        """The neighbour table as the protocol layer sees it."""
+        return world.neighbor_table()
+
+    def neighbor_rows(
+        self, world, sensor_ids: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        """Per-sensor neighbour rows as the protocol layer sees them."""
+        return world.neighbor_rows(sensor_ids)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        world,
+        key: Tuple,
+        critical_transmissions: int = 1,
+        retry_charge: Optional[Callable[[], None]] = None,
+    ) -> Tuple[bool, int]:
+        """Attempt a protocol round-trip; returns ``(delivered, attempts)``.
+
+        The perfect network always delivers on the first attempt.
+        """
+        return True, 1
+
+    def walk_hops(self, world, key: Tuple, ttl: int) -> int:
+        """How many hops of a TTL-bounded random walk actually complete."""
+        return max(0, int(ttl))
+
+
+class PerfectNetwork(NetworkModel):
+    """The structural default: lossless, instantaneous, live state."""
+
+
+#: Shared stateless instance used as the default ``World.network``.
+PERFECT_NETWORK = PerfectNetwork()
+
+
+class UnreliableNetwork(NetworkModel):
+    """Seed-deterministic loss, latency and staleness degradation.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for the per-message blake2b streams (normally the
+        scenario seed, threaded through ``NetworkSpec.build``).
+    loss:
+        Per-transmission drop probability in ``[0, 1)``.  An exchange
+        whose critical path needs ``k`` transmissions succeeds per
+        attempt with probability ``(1 - loss) ** k``.
+    latency:
+        Per-hop delivery delay in whole periods.  Protocol layers that
+        honour latency defer their action and record ``net.delayed``.
+    staleness:
+        Neighbour-table refresh interval in periods.  With ``staleness
+        <= 1`` tables are read live; otherwise the table captured at the
+        last refresh boundary is served (recording ``net.stale_reads``)
+        until the next boundary or a population change.
+    retry_limit:
+        Extra delivery attempts after the first (budget = ``retry_limit
+        + 1``).  Exhausting the budget records ``net.timeouts`` and the
+        exchange reports non-delivery.
+    """
+
+    is_perfect = False
+
+    def __init__(
+        self,
+        seed: int,
+        loss: float = 0.0,
+        latency: int = 0,
+        staleness: int = 0,
+        retry_limit: int = 3,
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        if staleness < 0:
+            raise ValueError("staleness cannot be negative")
+        if retry_limit < 0:
+            raise ValueError("retry limit cannot be negative")
+        self.seed = int(seed)
+        self.loss = float(loss)
+        self.latency = int(latency)
+        self.staleness = int(staleness)
+        self.retry_limit = int(retry_limit)
+        self.lossy = self.loss > 0.0
+        self._table_stamp: Optional[Tuple[int, int]] = None
+        self._table: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _rng(self, world, key: Tuple) -> random.Random:
+        return _derive_rng(self.seed, int(world.period_index), *key)
+
+    # ------------------------------------------------------------------
+    # Neighbour state (staleness)
+    # ------------------------------------------------------------------
+    def _stale_table(self, world) -> Dict[int, List[int]]:
+        # Refresh on the period boundary grid and on any population change
+        # (a dead sensor must not linger in the served table).
+        stamp = (
+            int(world.period_index) // self.staleness,
+            world.population_version,
+        )
+        if stamp != self._table_stamp:
+            self._table_stamp = stamp
+            self._table = {
+                sensor_id: list(neighbors)
+                for sensor_id, neighbors in world.neighbor_table().items()
+            }
+        else:
+            world.stats.record_net("stale_reads")
+        return self._table
+
+    def neighbor_table(self, world) -> Dict[int, List[int]]:
+        if self.staleness <= 1:
+            return world.neighbor_table()
+        return self._stale_table(world)
+
+    def neighbor_rows(
+        self, world, sensor_ids: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        if self.staleness <= 1:
+            return world.neighbor_rows(sensor_ids)
+        table = self._stale_table(world)
+        return {
+            sensor_id: table.get(sensor_id, []) for sensor_id in sensor_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Delivery (loss / retry / timeout)
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        world,
+        key: Tuple,
+        critical_transmissions: int = 1,
+        retry_charge: Optional[Callable[[], None]] = None,
+    ) -> Tuple[bool, int]:
+        if not self.lossy:
+            return True, 1
+        rng = self._rng(world, ("exchange",) + tuple(key))
+        success_probability = (1.0 - self.loss) ** max(
+            1, int(critical_transmissions)
+        )
+        budget = self.retry_limit + 1
+        backoff = 1
+        for attempt in range(1, budget + 1):
+            if attempt > 1 and retry_charge is not None:
+                retry_charge()
+            if rng.random() < success_probability:
+                if attempt > 1:
+                    world.stats.record_net("retries", attempt - 1)
+                return True, attempt
+            world.stats.record_net("dropped")
+            if attempt < budget:
+                # Exponential backoff before the retransmission; recorded
+                # in periods of accumulated delay.
+                world.stats.record_net("delayed", backoff)
+                backoff *= 2
+        world.stats.record_net("retries", budget - 1)
+        world.stats.record_net("timeouts")
+        return False, budget
+
+    def walk_hops(self, world, key: Tuple, ttl: int) -> int:
+        ttl = max(0, int(ttl))
+        if not self.lossy or ttl == 0:
+            return ttl
+        rng = self._rng(world, ("walk",) + tuple(key))
+        for hop in range(ttl):
+            if rng.random() < self.loss:
+                world.stats.record_net("dropped")
+                return hop
+        return ttl
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Serializable description of the network conditions for a run.
+
+    ``model`` selects the backend (``"perfect"`` or ``"unreliable"``); the
+    remaining knobs mirror :class:`UnreliableNetwork`.  A *structural*
+    spec — the perfect model, or an unreliable model whose knobs are all
+    degenerate — builds the shared :data:`PERFECT_NETWORK` and is omitted
+    from the run fingerprint, so attaching it never moves cache keys.
+    """
+
+    model: str = "perfect"
+    loss: float = 0.0
+    latency: int = 0
+    staleness: int = 0
+    retry_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.model not in _MODELS:
+            raise ValueError(
+                f"unknown network model {self.model!r}; expected one of "
+                f"{_MODELS}"
+            )
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if self.latency < 0:
+            raise ValueError("latency cannot be negative")
+        if self.staleness < 0:
+            raise ValueError("staleness cannot be negative")
+        if self.retry_limit < 0:
+            raise ValueError("retry limit cannot be negative")
+        if self.model == "perfect" and not self.is_structural():
+            raise ValueError(
+                "the perfect model takes no degradation parameters"
+            )
+
+    def is_structural(self) -> bool:
+        """Whether this spec degrades nothing (behaves like the seed)."""
+        return self.loss == 0.0 and self.latency == 0 and self.staleness <= 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "loss": self.loss,
+            "latency": self.latency,
+            "staleness": self.staleness,
+            "retry_limit": self.retry_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetworkSpec":
+        return cls(
+            model=str(data.get("model", "perfect")),
+            loss=float(data.get("loss", 0.0)),
+            latency=int(data.get("latency", 0)),
+            staleness=int(data.get("staleness", 0)),
+            retry_limit=int(data.get("retry_limit", 3)),
+        )
+
+    def build(self, seed: int) -> NetworkModel:
+        """Instantiate the model for a run with the given scenario seed."""
+        if self.is_structural():
+            return PERFECT_NETWORK
+        return UnreliableNetwork(
+            seed=seed,
+            loss=self.loss,
+            latency=self.latency,
+            staleness=self.staleness,
+            retry_limit=self.retry_limit,
+        )

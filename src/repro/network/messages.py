@@ -16,7 +16,12 @@ from typing import Optional
 
 from ..geometry import Vec2
 
-__all__ = ["MessageType", "Message"]
+__all__ = ["MessageType", "Message", "NET_COUNTER_KEYS"]
+
+#: Delivery-condition counter keys recorded by :mod:`repro.network.conditions`
+#: and carried by :class:`repro.network.stats.MessageStats` alongside the
+#: per-type transmission counts.  Surfaced as ``net.<key>`` telemetry.
+NET_COUNTER_KEYS = ("dropped", "delayed", "retries", "timeouts", "stale_reads")
 
 
 class MessageType(Enum):

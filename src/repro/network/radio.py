@@ -19,10 +19,16 @@ from ..geometry import Segment, Vec2
 from ..sensors import Sensor
 from ..spatial import SpatialIndex, pack_positions
 
-__all__ = ["Radio"]
+__all__ = ["Radio", "LINK_EPS"]
 
 #: Link tolerance used by every range comparison (matches ``link_exists``).
-_LINK_EPS = 1e-9
+#: Public because protocol layers that read *stale* neighbour tables (see
+#: ``repro.network.conditions``) must revalidate entries against live
+#: positions with exactly this tolerance before acting on them.
+LINK_EPS = 1e-9
+
+# Backwards-compatible private alias (internal call sites predate export).
+_LINK_EPS = LINK_EPS
 
 
 @dataclass

@@ -1,10 +1,16 @@
 """Routing cost models: flooding, tree routing and random walks.
 
 Message *content* is handled directly by the scheme implementations (the
-simulator is period-synchronous and latency is assumed negligible compared
-with the period length, as in the paper).  What this module provides is the
-*transmission accounting* — how many point-to-point sends each communication
-pattern costs — which feeds the Table 1 message-overhead reproduction.
+simulator is period-synchronous and, under the default perfect network,
+latency is assumed negligible compared with the period length, as in the
+paper).  What this module provides is the *transmission accounting* — how
+many point-to-point sends each communication pattern costs — which feeds
+the Table 1 message-overhead reproduction.
+
+Under :class:`~repro.network.conditions.UnreliableNetwork` a pattern may
+be retransmitted: the ``attempts`` parameter on the tree-routing and lock
+recorders multiplies the charge so retries show up in the overhead totals
+exactly as they would on the air.
 """
 
 from __future__ import annotations
@@ -59,14 +65,16 @@ class RoutingCostModel:
         source: int,
         destination: int,
         message_type: MessageType,
+        attempts: int = 1,
     ) -> int:
         """Unicast between two sensors routed over the tree.
 
         The tree route goes up from the source to the lowest common ancestor
-        and down to the destination.
+        and down to the destination.  ``attempts`` charges the route that
+        many times (lossy-network retransmissions).
         """
         hops = self.tree_route_hops(tree, source, destination)
-        self.stats.record_transmissions(message_type, hops)
+        self.stats.record_transmissions(message_type, hops * max(1, attempts))
         return hops
 
     @staticmethod
@@ -112,17 +120,21 @@ class RoutingCostModel:
         tree: ConnectivityTree,
         node_id: int,
         subtree_size: Optional[int] = None,
+        attempts: int = 1,
     ) -> int:
         """The LockTree/UnLockTree handshake over a node's subtree.
 
         ``subtree_size`` lets a caller that already walked the subtree
         (the CPVF parent-change scans do, for candidate exclusion) skip
-        the second traversal; the accounting is identical.
+        the second traversal; the accounting is identical.  ``attempts``
+        charges the handshake that many times — each lossy-network retry
+        re-runs the whole lock/unlock wave.
         """
         if subtree_size is None:
             cost = tree.lock_subtree_message_count(node_id)
         else:
             cost = 2 * max(0, subtree_size - 1)
+        cost *= max(1, attempts)
         half = cost // 2
         self.stats.record_transmissions(MessageType.LOCK_TREE, half)
         self.stats.record_transmissions(MessageType.UNLOCK_TREE, cost - half)

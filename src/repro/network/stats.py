@@ -12,16 +12,25 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
 
-from .messages import Message, MessageType
+from .messages import Message, MessageType, NET_COUNTER_KEYS
 
 __all__ = ["MessageStats"]
 
 
 @dataclass
 class MessageStats:
-    """Counts point-to-point transmissions per message type."""
+    """Counts point-to-point transmissions per message type.
+
+    Besides the per-type transmission counters the stats carry the
+    delivery-condition counters recorded by the network model
+    (:data:`~repro.network.messages.NET_COUNTER_KEYS`): drops, delays,
+    retries, timeouts and stale neighbour-table reads.  Under the perfect
+    network they stay empty, so structural-mode counter output is
+    unchanged.
+    """
 
     counts: Counter = field(default_factory=Counter)
+    net_counts: Counter = field(default_factory=Counter)
 
     def record(self, message: Message) -> None:
         """Record one message (its cost is its hop count)."""
@@ -32,6 +41,18 @@ class MessageStats:
         if count < 0:
             raise ValueError("transmission count cannot be negative")
         self.counts[message_type] += count
+
+    def record_net(self, key: str, count: int = 1) -> None:
+        """Record a delivery-condition event (``net.<key>`` telemetry)."""
+        if key not in NET_COUNTER_KEYS:
+            raise ValueError(
+                f"unknown net counter {key!r}; expected one of "
+                f"{NET_COUNTER_KEYS}"
+            )
+        if count < 0:
+            raise ValueError("net counter increment cannot be negative")
+        if count:
+            self.net_counts[key] += count
 
     def total(self) -> int:
         """Total number of transmissions across all message types."""
@@ -51,13 +72,19 @@ class MessageStats:
             return 0.0
         return self.total() / node_count
 
-    def to_counters(self, prefix: str = "messages.") -> Dict[str, int]:
+    def to_counters(
+        self, prefix: str = "messages.", net_prefix: str = "net."
+    ) -> Dict[str, int]:
         """The counts as flat telemetry counters (shared dotted schema).
 
         ``messages.<type>`` keys, lexically sorted, plus a
         ``messages.total`` aggregate — the same schema
         ``ServiceMetrics.to_counters`` and :class:`repro.obs.Telemetry`
         use, so message accounting folds into any telemetry summary.
+        Non-zero delivery-condition counters follow as ``net.<key>``
+        entries (key order of :data:`NET_COUNTER_KEYS`); under the
+        perfect network none exist and the output is byte-identical to
+        the structural schema.
         """
         counters = {
             f"{prefix}{message_type.name.lower()}": count
@@ -67,7 +94,58 @@ class MessageStats:
             if count
         }
         counters[f"{prefix}total"] = self.total()
+        for key in NET_COUNTER_KEYS:
+            count = self.net_counts.get(key, 0)
+            if count:
+                counters[f"{net_prefix}{key}"] = count
         return counters
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: Dict[str, int],
+        prefix: str = "messages.",
+        net_prefix: str = "net.",
+    ) -> "MessageStats":
+        """Rebuild stats from :meth:`to_counters` output (round-trip).
+
+        The ``<prefix>total`` aggregate is recomputed, not read; unknown
+        message-type or net-counter names raise ``ValueError``.
+        """
+        stats = cls()
+        total_key = f"{prefix}total"
+        for name, count in counters.items():
+            if name == total_key:
+                continue
+            if name.startswith(prefix):
+                type_name = name[len(prefix):]
+                try:
+                    message_type = MessageType[type_name.upper()]
+                except KeyError:
+                    raise ValueError(
+                        f"unknown message type counter {name!r}"
+                    ) from None
+                stats.record_transmissions(message_type, count)
+            elif name.startswith(net_prefix):
+                stats.record_net(name[len(net_prefix):], count)
+            else:
+                raise ValueError(f"unrecognised counter {name!r}")
+        return stats
+
+    def per_period(
+        self, periods: int, prefix: str = "messages.", net_prefix: str = "net."
+    ) -> Dict[str, float]:
+        """Per-period rates of every counter over a ``periods``-long run.
+
+        Useful for comparing overhead across runs of different lengths
+        (the degradation experiment reports rates, not raw totals).
+        """
+        if periods <= 0:
+            raise ValueError("periods must be positive")
+        return {
+            name: count / periods
+            for name, count in self.to_counters(prefix, net_prefix).items()
+        }
 
     def snapshot(self) -> "MessageStats":
         """A frozen copy of the current counters.
@@ -78,14 +156,16 @@ class MessageStats:
         """
         copy = MessageStats()
         copy.counts = Counter(self.counts)
+        copy.net_counts = Counter(self.net_counts)
         return copy
 
     def diff(self, earlier: "MessageStats") -> "MessageStats":
         """Transmissions recorded since ``earlier`` was snapshotted.
 
-        Computed per type as ``self - earlier``; counters are monotone, so
-        a negative delta means ``earlier`` is not actually an earlier
-        snapshot of this stream.
+        Computed per type as ``self - earlier`` (delivery-condition
+        counters included); counters are monotone, so a negative delta
+        means ``earlier`` is not actually an earlier snapshot of this
+        stream.
         """
         delta = MessageStats()
         for message_type, count in self.counts.items():
@@ -97,14 +177,24 @@ class MessageStats:
                 )
             if change:
                 delta.counts[message_type] = change
+        for key, count in self.net_counts.items():
+            change = count - earlier.net_counts.get(key, 0)
+            if change < 0:
+                raise ValueError(
+                    f"diff against a snapshot with higher counts (net.{key})"
+                )
+            if change:
+                delta.net_counts[key] = change
         return delta
 
     def merge(self, other: "MessageStats") -> "MessageStats":
         """A new stats object combining both operand counters."""
         merged = MessageStats()
         merged.counts = self.counts + other.counts
+        merged.net_counts = self.net_counts + other.net_counts
         return merged
 
     def reset(self) -> None:
         """Clear all counters."""
         self.counts.clear()
+        self.net_counts.clear()

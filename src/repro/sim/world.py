@@ -26,6 +26,8 @@ from ..network import (
     ConnectivityTree,
     MessageStats,
     MessageType,
+    NetworkModel,
+    PERFECT_NETWORK,
     Radio,
     RoutingCostModel,
 )
@@ -65,6 +67,13 @@ class World:
     #: default a no-op.
     telemetry: Telemetry = field(
         default=NULL_TELEMETRY, repr=False, compare=False
+    )
+    #: Delivery-condition model consulted at protocol decision points.
+    #: The shared perfect instance is a pass-through, so the default is
+    #: byte-identical to the pre-conditions behaviour; the run layer
+    #: installs an ``UnreliableNetwork`` when the spec asks for one.
+    network: NetworkModel = field(
+        default=PERFECT_NETWORK, repr=False, compare=False
     )
     _neighbor_cache: Optional[NeighborCache] = field(
         default=None, init=False, repr=False, compare=False
@@ -219,6 +228,23 @@ class World:
             return self._cache().neighbor_rows(sensor_ids)
         table = self.radio.neighbor_table(self.alive_sensors())
         return {sid: list(table.get(sid, ())) for sid in sensor_ids}
+
+    def protocol_neighbor_table(self) -> Dict[int, List[int]]:
+        """Neighbour table as the *protocol* layer sees it.
+
+        Routed through the network model: live under the perfect network,
+        possibly aged under :class:`~repro.network.conditions
+        .UnreliableNetwork` staleness.  Physics queries (coverage,
+        connectivity, movement validation) must keep using
+        :meth:`neighbor_table`.
+        """
+        return self.network.neighbor_table(self)
+
+    def protocol_neighbor_rows(
+        self, sensor_ids: Sequence[int]
+    ) -> Dict[int, List[int]]:
+        """Per-sensor neighbour rows as the protocol layer sees them."""
+        return self.network.neighbor_rows(self, sensor_ids)
 
     def sensors_near_base_station(self) -> List[int]:
         """Sensors within one hop of the base station."""
@@ -441,6 +467,13 @@ class World:
         transmission each); the member with the shortest live link to an
         anchored node becomes the subtree's new root and attaches there.
         On success ``anchored`` is extended with the subtree's members.
+
+        Under a lossy network the two-message attach handshake (new-root
+        announcement + attach request) retransmits with exponential
+        backoff up to the delivery budget; if it still fails the subtree
+        is treated as unreachable this round — the caller's fixpoint may
+        retry it via another orphan, else it is discarded and its members
+        revert to DISCONNECTED (the existing safe state).
         """
         tree = self.tree
         members = sorted(tree.subtree_of(root))
@@ -466,10 +499,15 @@ class World:
         if best is None:
             return False
         _, new_root, anchor_id = best
+        delivered, attempts = self.network.exchange(
+            self, ("tree.repair", root, new_root, anchor_id), 2
+        )
+        # New root announcement + attach request (per delivery attempt).
+        self.stats.record_transmissions(MessageType.TREE_REPAIR, 2 * attempts)
+        if not delivered:
+            return False
         tree.reroot_floating(root, new_root)
         tree.attach(new_root, anchor_id)
-        # New root announcement + attach request.
-        self.stats.record_transmissions(MessageType.TREE_REPAIR, 2)
         for member_id in members:
             member = self.sensor(member_id)
             member.set_parent(tree.parent_of(member_id), tree.ancestors_of(member_id))

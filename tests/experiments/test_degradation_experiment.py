@@ -1,0 +1,85 @@
+"""Tests for the degradation experiment (loss x staleness grid)."""
+
+import pytest
+
+from repro.api import SweepRunner
+from repro.experiments import SMOKE_SCALE
+from repro.experiments.degradation import (
+    DEFAULT_DEGRADATION_SCHEMES,
+    DEGRADATION_LOSSES,
+    DEGRADATION_STALENESS,
+    format_degradation,
+    rows_degradation,
+    sweep_degradation,
+)
+
+
+class TestSweepStructure:
+    def test_grid_crosses_losses_staleness_schemes_and_reps(self):
+        sweep = sweep_degradation(SMOKE_SCALE)
+        reps = min(SMOKE_SCALE.repetitions, 3)
+        assert len(sweep.runs) == (
+            len(DEGRADATION_LOSSES)
+            * len(DEGRADATION_STALENESS)
+            * len(DEFAULT_DEGRADATION_SCHEMES)
+            * reps
+        )
+
+    def test_perfect_cell_carries_no_network_spec(self):
+        sweep = sweep_degradation(SMOKE_SCALE)
+        for run in sweep.runs:
+            if run.tag("loss") == 0.0 and run.tag("staleness") == 0:
+                assert run.network is None
+            else:
+                assert run.network is not None
+                assert not run.network.is_structural()
+                assert run.network.loss == run.tag("loss")
+                assert run.network.staleness == run.tag("staleness")
+
+    def test_cells_reuse_the_same_derived_seed_scenarios(self):
+        """Ratios compare paired runs: every cell sees the same scenarios."""
+        sweep = sweep_degradation(SMOKE_SCALE, schemes=("CPVF",))
+        by_cell = {}
+        for run in sweep.runs:
+            cell = (run.tag("loss"), run.tag("staleness"))
+            by_cell.setdefault(cell, []).append(run.scenario.seed)
+        seed_sets = {tuple(sorted(seeds)) for seeds in by_cell.values()}
+        assert len(seed_sets) == 1
+
+
+class TestExecution:
+    def test_serial_and_sharded_grids_agree(self):
+        sweep = sweep_degradation(
+            SMOKE_SCALE,
+            schemes=("CPVF", "FLOOR"),
+            losses=(0.0, 0.1),
+            staleness_levels=(0,),
+        )
+        serial = SweepRunner(jobs=1).run(sweep)
+        sharded = SweepRunner(jobs=2).run(sweep)
+        assert serial == sharded
+
+    def test_rows_report_ratios_against_the_perfect_cell(self):
+        sweep = sweep_degradation(
+            SMOKE_SCALE,
+            schemes=("CPVF",),
+            losses=(0.0, 0.1),
+            staleness_levels=(0,),
+        )
+        records = SweepRunner(jobs=1).run(sweep)
+        rows = rows_degradation(records)
+        assert len(rows) == 2
+        baseline = next(r for r in rows if r.loss == 0.0)
+        degraded = next(r for r in rows if r.loss == 0.1)
+        assert baseline.coverage_ratio == pytest.approx(1.0)
+        assert baseline.message_overhead == pytest.approx(1.0)
+        assert degraded.coverage_ratio == pytest.approx(
+            degraded.coverage / baseline.coverage
+        )
+        # The acceptance bar, at experiment granularity.
+        assert degraded.coverage_ratio >= 0.85
+
+        report = format_degradation(rows)
+        assert "staleness 0" in report
+        assert "CPVF" in report
+        assert "10%" in report

@@ -148,6 +148,7 @@ class TestRunner:
             "table1",
             "gallery",
             "lifecycle",
+            "degradation",
         }
 
     def test_unknown_experiment_rejected(self):

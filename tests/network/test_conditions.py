@@ -1,0 +1,233 @@
+"""Tests for the pluggable network-condition models."""
+
+import pytest
+
+from repro.network import (
+    MessageStats,
+    NetworkSpec,
+    PERFECT_NETWORK,
+    PerfectNetwork,
+    UnreliableNetwork,
+)
+
+
+class FakeWorld:
+    """The minimal world surface the condition models consult."""
+
+    def __init__(self, table=None):
+        self.period_index = 0
+        self.population_version = 0
+        self.stats = MessageStats()
+        self._table = table if table is not None else {1: [2], 2: [1]}
+
+    def neighbor_table(self):
+        return {k: list(v) for k, v in self._table.items()}
+
+    def neighbor_rows(self, sensor_ids):
+        return {sid: list(self._table.get(sid, [])) for sid in sensor_ids}
+
+
+class TestNetworkSpec:
+    def test_default_spec_is_structural_and_builds_perfect(self):
+        spec = NetworkSpec()
+        assert spec.is_structural()
+        assert spec.build(seed=1) is PERFECT_NETWORK
+
+    def test_degenerate_unreliable_spec_builds_perfect(self):
+        spec = NetworkSpec(model="unreliable")
+        assert spec.is_structural()
+        assert spec.build(seed=1) is PERFECT_NETWORK
+
+    def test_degraded_spec_builds_unreliable(self):
+        spec = NetworkSpec(model="unreliable", loss=0.1, staleness=5)
+        assert not spec.is_structural()
+        net = spec.build(seed=9)
+        assert isinstance(net, UnreliableNetwork)
+        assert net.seed == 9
+        assert net.loss == 0.1
+        assert net.staleness == 5
+
+    def test_staleness_of_one_is_still_structural(self):
+        assert NetworkSpec(model="unreliable", staleness=1).is_structural()
+
+    def test_round_trip(self):
+        spec = NetworkSpec(
+            model="unreliable", loss=0.05, latency=2, staleness=4, retry_limit=1
+        )
+        assert NetworkSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_applies_defaults(self):
+        assert NetworkSpec.from_dict({}) == NetworkSpec()
+        assert NetworkSpec.from_dict({"model": "unreliable", "loss": 0.2}) == (
+            NetworkSpec(model="unreliable", loss=0.2)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": "carrier-pigeon"},
+            {"model": "unreliable", "loss": 1.0},
+            {"model": "unreliable", "loss": -0.1},
+            {"model": "unreliable", "latency": -1},
+            {"model": "unreliable", "staleness": -1},
+            {"model": "unreliable", "retry_limit": -1},
+            {"model": "perfect", "loss": 0.1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkSpec(**kwargs)
+
+
+class TestPerfectNetwork:
+    def test_everything_is_a_pass_through(self):
+        world = FakeWorld()
+        net = PerfectNetwork()
+        assert net.is_perfect and not net.lossy
+        assert net.neighbor_table(world) == world.neighbor_table()
+        assert net.neighbor_rows(world, [1]) == {1: [2]}
+        assert net.exchange(world, ("x",), 5) == (True, 1)
+        assert net.walk_hops(world, ("w",), 7) == 7
+        assert world.stats.net_counts == {}
+
+
+class TestDegenerateUnreliable:
+    def test_zero_knobs_behave_like_perfect(self):
+        world = FakeWorld()
+        net = UnreliableNetwork(seed=3)
+        assert not net.lossy
+        assert net.neighbor_table(world) == world.neighbor_table()
+        assert net.exchange(world, ("x",), 5) == (True, 1)
+        assert net.walk_hops(world, ("w",), 7) == 7
+        assert world.stats.net_counts == {}
+
+
+class TestExchange:
+    def test_deterministic_across_instances(self):
+        outcomes = []
+        for _ in range(2):
+            world = FakeWorld()
+            net = UnreliableNetwork(seed=11, loss=0.3)
+            outcomes.append(
+                [net.exchange(world, ("msg", i), 2) for i in range(50)]
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_distinct_keys_and_periods_draw_independently(self):
+        world = FakeWorld()
+        net = UnreliableNetwork(seed=11, loss=0.5)
+        by_key = [net.exchange(world, ("msg", i))[1] for i in range(40)]
+        world.period_index = 1
+        by_period = [net.exchange(world, ("msg", i))[1] for i in range(40)]
+        assert by_key != by_period
+        assert len(set(by_key)) > 1
+
+    def test_timeout_exhausts_budget_and_counts(self):
+        world = FakeWorld()
+        net = UnreliableNetwork(seed=1, loss=0.95, retry_limit=2)
+        # With 95% loss some key times out quickly; find one and check the
+        # accounting of a full exhaustion.
+        for i in range(100):
+            probe = FakeWorld()
+            delivered, attempts = net.exchange(probe, ("m", i), 3)
+            if not delivered:
+                assert attempts == 3  # retry_limit + 1
+                assert probe.stats.net_counts["dropped"] == 3
+                assert probe.stats.net_counts["timeouts"] == 1
+                assert probe.stats.net_counts["retries"] == 2
+                # Exponential backoff: 1 + 2 periods of accumulated delay.
+                assert probe.stats.net_counts["delayed"] == 3
+                break
+        else:
+            pytest.fail("no timeout observed at 95% loss")
+        assert world.stats.net_counts == {}
+
+    def test_success_after_retry_counts_retries_not_timeouts(self):
+        net = UnreliableNetwork(seed=5, loss=0.6, retry_limit=3)
+        for i in range(200):
+            world = FakeWorld()
+            delivered, attempts = net.exchange(world, ("m", i))
+            if delivered and attempts > 1:
+                assert world.stats.net_counts["retries"] == attempts - 1
+                assert world.stats.net_counts["dropped"] == attempts - 1
+                assert "timeouts" not in world.stats.net_counts
+                break
+        else:
+            pytest.fail("no retried success observed at 60% loss")
+
+    def test_retry_charge_called_once_per_retry(self):
+        net = UnreliableNetwork(seed=5, loss=0.6, retry_limit=3)
+        for i in range(200):
+            world = FakeWorld()
+            charges = []
+            delivered, attempts = net.exchange(
+                world, ("m", i), retry_charge=lambda: charges.append(1)
+            )
+            if attempts > 1:
+                assert len(charges) == attempts - 1
+                break
+        else:
+            pytest.fail("no retry observed at 60% loss")
+
+    def test_wider_critical_path_fails_more(self):
+        net = UnreliableNetwork(seed=2, loss=0.2, retry_limit=0)
+        narrow = sum(
+            net.exchange(FakeWorld(), ("n", i), 1)[0] for i in range(300)
+        )
+        wide = sum(
+            net.exchange(FakeWorld(), ("w", i), 10)[0] for i in range(300)
+        )
+        assert wide < narrow
+
+
+class TestWalkHops:
+    def test_deterministic_and_bounded(self):
+        net = UnreliableNetwork(seed=7, loss=0.3)
+        world = FakeWorld()
+        hops = [net.walk_hops(world, ("walk", i), 8) for i in range(50)]
+        world2 = FakeWorld()
+        assert hops == [net.walk_hops(world2, ("walk", i), 8) for i in range(50)]
+        assert all(0 <= h <= 8 for h in hops)
+        assert any(h < 8 for h in hops)
+
+    def test_truncated_walk_records_one_drop(self):
+        net = UnreliableNetwork(seed=7, loss=0.9)
+        world = FakeWorld()
+        hops = net.walk_hops(world, ("walk", 0), 8)
+        if hops < 8:
+            assert world.stats.net_counts["dropped"] == 1
+
+
+class TestStaleness:
+    def test_live_when_staleness_at_most_one(self):
+        world = FakeWorld()
+        net = UnreliableNetwork(seed=1, staleness=1)
+        assert net.neighbor_table(world) == world.neighbor_table()
+        assert world.stats.net_counts == {}
+
+    def test_table_served_stale_between_refreshes(self):
+        world = FakeWorld(table={1: [2]})
+        net = UnreliableNetwork(seed=1, staleness=5)
+        assert net.neighbor_table(world) == {1: [2]}
+        # The world moves on; the served table does not until the boundary.
+        world._table = {1: [2, 3]}
+        world.period_index = 4
+        assert net.neighbor_table(world) == {1: [2]}
+        assert world.stats.net_counts["stale_reads"] == 1
+        world.period_index = 5
+        assert net.neighbor_table(world) == {1: [2, 3]}
+
+    def test_population_change_forces_refresh(self):
+        world = FakeWorld(table={1: [2]})
+        net = UnreliableNetwork(seed=1, staleness=10)
+        assert net.neighbor_table(world) == {1: [2]}
+        world._table = {1: []}
+        world.population_version += 1
+        assert net.neighbor_table(world) == {1: []}
+
+    def test_stale_rows_slice_the_cached_table(self):
+        world = FakeWorld(table={1: [2], 2: [1]})
+        net = UnreliableNetwork(seed=1, staleness=5)
+        net.neighbor_table(world)
+        world._table = {}
+        assert net.neighbor_rows(world, [1, 99]) == {1: [2], 99: []}

@@ -1,0 +1,107 @@
+"""Tests for delivery-condition (net.*) accounting in MessageStats."""
+
+import pytest
+
+from repro.network import MessageStats, MessageType, NET_COUNTER_KEYS
+
+
+def degraded_stats():
+    stats = MessageStats()
+    stats.record_transmissions(MessageType.CONNECTIVITY_FLOOD, 4)
+    stats.record_transmissions(MessageType.INVITATION, 9)
+    stats.record_net("dropped", 3)
+    stats.record_net("retries", 2)
+    stats.record_net("timeouts")
+    return stats
+
+
+def test_record_net_validates_key_and_count():
+    stats = MessageStats()
+    with pytest.raises(ValueError):
+        stats.record_net("packets_eaten")
+    with pytest.raises(ValueError):
+        stats.record_net("dropped", -1)
+    stats.record_net("dropped", 0)
+    assert stats.net_counts == {}
+
+
+def test_to_counters_appends_net_keys_after_total():
+    counters = degraded_stats().to_counters()
+    names = list(counters)
+    assert names.index("messages.total") < names.index("net.dropped")
+    assert counters["net.dropped"] == 3
+    assert counters["net.retries"] == 2
+    assert counters["net.timeouts"] == 1
+    assert "net.delayed" not in counters  # zero counters stay omitted
+
+
+def test_perfect_counters_unchanged():
+    stats = MessageStats()
+    stats.record_transmissions(MessageType.INVITATION, 5)
+    assert list(stats.to_counters()) == ["messages.invitation", "messages.total"]
+
+
+def test_from_counters_round_trip():
+    stats = degraded_stats()
+    rebuilt = MessageStats.from_counters(stats.to_counters())
+    assert rebuilt.counts == stats.counts
+    assert rebuilt.net_counts == stats.net_counts
+
+
+def test_from_counters_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        MessageStats.from_counters({"messages.carrier_pigeon": 1})
+    with pytest.raises(ValueError):
+        MessageStats.from_counters({"net.packets_eaten": 1})
+    with pytest.raises(ValueError):
+        MessageStats.from_counters({"bananas": 1})
+
+
+def test_merge_carries_net_counts():
+    merged = degraded_stats().merge(degraded_stats())
+    assert merged.net_counts["dropped"] == 6
+    assert merged.net_counts["retries"] == 4
+    assert merged.total() == 26
+
+
+def test_diff_carries_net_counts():
+    stats = degraded_stats()
+    snap = stats.snapshot()
+    stats.record_net("dropped", 2)
+    stats.record_net("stale_reads", 7)
+    delta = stats.diff(snap)
+    assert delta.net_counts == {"dropped": 2, "stale_reads": 7}
+    assert delta.counts == {}
+
+
+def test_diff_rejects_higher_net_snapshot():
+    stats = degraded_stats()
+    later = stats.snapshot()
+    later.record_net("dropped", 10)
+    with pytest.raises(ValueError):
+        stats.diff(later)
+
+
+def test_reset_clears_net_counts():
+    stats = degraded_stats()
+    stats.reset()
+    assert stats.net_counts == {}
+    assert stats.to_counters() == {"messages.total": 0}
+
+
+def test_per_period_rates():
+    rates = degraded_stats().per_period(4)
+    assert rates["messages.total"] == 13 / 4
+    assert rates["net.dropped"] == 0.75
+    with pytest.raises(ValueError):
+        degraded_stats().per_period(0)
+
+
+def test_net_counter_keys_are_the_schema():
+    assert NET_COUNTER_KEYS == (
+        "dropped",
+        "delayed",
+        "retries",
+        "timeouts",
+        "stale_reads",
+    )
