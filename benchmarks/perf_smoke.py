@@ -8,8 +8,18 @@ generous — ``3 x fast_ms`` — because hosted CI runners are noisy and
 this gate exists to catch order-of-magnitude regressions (an
 accidentally quadratic path, a lost cache), not timer jitter.
 
+A second check drives the same configuration with telemetry installed
+and asserts the *incremental pair maintenance* path actually engaged —
+most timed periods must be answered from the maintained pair store
+(``cpvf.pairs_repaired``) rather than rebuilt from scratch
+(``cpvf.pairs_rebuilt``).  This catches a silent fall-back-to-rebuild
+regression (an eligibility check accidentally failing, the store being
+dropped every epoch) that the generous timing budget alone would let
+through at n = 500.
+
 Exit codes: 0 on pass *or* skip (no committed entry / unmeasurable),
-1 only when the measured period exceeds the budget.
+1 only when the measured period exceeds the budget or the incremental
+path never engaged.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ def main() -> int:
         return 0
 
     from repro.experiments.perfbench import _timed_periods
+    from repro.obs import Telemetry
 
     batched_s = _timed_periods(
         N, seed=3, fast=True, periods=4, mode="batched"
@@ -51,7 +62,25 @@ def main() -> int:
         f"budget {budget_ms:.2f} ms (3 x committed fast_ms "
         f"{row['fast_ms']:.2f} ms) -> {verdict}"
     )
-    return 0 if verdict == "ok" else 1
+    if verdict != "ok":
+        return 1
+
+    tel = Telemetry()
+    _timed_periods(
+        N, seed=3, fast=True, periods=4, mode="batched", telemetry=tel
+    )
+    counters = tel.summary().counters
+    repaired = counters.get("cpvf.pairs_repaired", 0)
+    rebuilt = counters.get("cpvf.pairs_rebuilt", 0)
+    # Drift accumulates toward the store's slack budget over the window,
+    # so one mid-window rebuild is legitimate; the incremental path must
+    # still dominate.
+    incremental_ok = repaired >= 2 and repaired >= rebuilt
+    print(
+        f"perf-smoke: incremental pairs repaired={repaired} "
+        f"rebuilt={rebuilt} -> {'ok' if incremental_ok else 'FAIL'}"
+    )
+    return 0 if incremental_ok else 1
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ Usage (from the repo root)::
     python benchmarks/run_perf.py                      # full suite
     python benchmarks/run_perf.py --only cpvf_period   # one entry only
     python benchmarks/run_perf.py --only cpvf_period --n 2000 10000
+    python benchmarks/run_perf.py --only cpvf_period --n 100000
     python benchmarks/run_perf.py --list               # entry names
 
 Runs the spatial-subsystem benchmarks (neighbor-table build, CPVF
@@ -22,7 +23,9 @@ for the whole suite.  ``--n N [N ...]`` overrides the population sizes
 of the per-population entries (``neighbor_table``, ``cpvf_period``,
 ``coverage``); without it, ``cpvf_period`` runs the classic sizes
 (100/500/1000, seed vs vectorized) plus the three-mode scale rows
-(2000/5000/10000, seed vs vectorized vs batched).
+(2000/5000/10000, seed vs vectorized vs batched).  Sizes beyond 20000
+(e.g. ``--n 100000``) skip the seed algorithm (``seed_ms`` is null) and
+grow the field with sqrt(n) so density matches the n = 10^4 row.
 """
 
 from __future__ import annotations
@@ -78,10 +81,23 @@ def _print_results(results: dict) -> None:
             if row.get("phases_ms"):
                 top = max(row["phases_ms"], key=row["phases_ms"].get)
                 extra += f" [top phase {top}={row['phases_ms'][top]:.1f} ms]"
+            # seed_ms / speedup are None on rows too large to run the
+            # seed algorithm at all (n > 20000).
+            if row.get("seed_ms") is None:
+                seed_part = "seed=skipped"
+            else:
+                seed_part = (
+                    f"seed={row['seed_ms']:.2f} ms"
+                )
+            speedup_part = (
+                ""
+                if row.get("speedup") is None
+                else f" ({row['speedup']:.1f}x)"
+            )
             print(
                 f"{section}{layout} n={row['n']}: "
-                f"seed={row['seed_ms']:.2f} ms fast={row['fast_ms']:.2f} ms "
-                f"({row['speedup']:.1f}x){extra}"
+                f"{seed_part} fast={row['fast_ms']:.2f} ms"
+                f"{speedup_part}{extra}"
             )
     for row in results.get("telemetry_overhead", ()):
         print(

@@ -67,6 +67,7 @@ class CPVFScheme(DeploymentScheme):
         repulsion_distance: Optional[float] = None,
         vectorized: bool = True,
         mode: Optional[str] = None,
+        repair_grouping: bool = True,
     ):
         """Create the scheme.
 
@@ -108,6 +109,22 @@ class CPVFScheme(DeploymentScheme):
                 per-period message accounting; trajectories are
                 equivalent in distribution to the other modes rather
                 than numerically identical.
+        repair_grouping:
+            Batched mode only: execute the repair pass (blocked and
+            stray sensors) in conflict-free *groups* — candidates whose
+            required links share no endpoint are re-laddered and
+            committed as one numpy pass per round — instead of one
+            scalar walk per sensor.  The paper's LockTree/UnLockTree
+            handshake only serializes within a lock subtree, which the
+            grouping respects; message accounting stays structural
+            (one NEIGHBOR_STATE per preserved link, LockTree /
+            UnLockTree per parent-change attempt).  Without parent
+            changes the grouped pass is bit-identical to the serialized
+            one; with them, the group commit order can change which
+            attempts a candidate makes — the same distributional
+            relaxation ``mode="batched"`` itself makes (pinned by
+            ``tests/core/test_repair_groups.py``).  ``False`` restores
+            the fully serialized repair pass.
         """
         if mode is None:
             mode = "vectorized" if vectorized else "sequential"
@@ -120,6 +137,7 @@ class CPVFScheme(DeploymentScheme):
         self._oscillation_mode = OscillationMode.from_string(oscillation_mode)
         self._repulsion_distance = repulsion_distance
         self._mode = mode
+        self._repair_grouping = repair_grouping
         self._vectorized = mode != "sequential"
         self._planner: Optional[Bug2Planner] = None
         self._forces: Optional[VirtualForceModel] = None
@@ -540,10 +558,25 @@ class CPVFScheme(DeploymentScheme):
         rc_min, rc_max = min(rc_list), max(rc_list)
         pair_extra = 2.0 * config.max_step
         tel = world.telemetry
-        with tel.span("cpvf.pairs"):
+        # Incremental pair maintenance reports under its own span so the
+        # bench breakdown separates "answered from the maintained store"
+        # (cpvf.pairs_incremental) from a from-scratch pair generation
+        # (cpvf.pairs); see docs/performance.md.
+        span_name = "cpvf.pairs"
+        if (
+            tel.enabled
+            and world.pairs_maintenance_hint(pair_extra) == "incremental"
+        ):
+            span_name = "cpvf.pairs_incremental"
+        with tel.span(span_name):
             rows, cols, d2 = world.neighbor_pairs(pair_extra, with_d2=True)
         if tel.enabled:
             tel.count("cpvf.candidate_pairs", int(rows.size))
+            evt = world.pairs_maintenance_last()
+            if evt in ("memo", "derived", "serve", "repair"):
+                tel.count("cpvf.pairs_repaired", 1)
+            else:
+                tel.count("cpvf.pairs_rebuilt", 1)
         with tel.span("cpvf.forces"):
             if rc_min == rc_max:
                 limit = rc_min + 1e-9
@@ -688,18 +721,194 @@ class CPVFScheme(DeploymentScheme):
         if tel.enabled:
             tel.count("cpvf.repair_attempts", len(repair))
             tel.count("cpvf.stray_sensors", int(stray.sum()))
-        with tel.span("cpvf.repair"):
-            for i in repair:
-                self._repair_blocked(
-                    world, sensors[i], Vec2(float(ux[i]), float(uy[i])),
-                    record_messages=bool(stray[i]),
-                    candidate_csr=candidate_csr,
-                    xs=xs, ys=ys, connected=connected,
+        if self._repair_grouping:
+            with tel.span("cpvf.repair_groups"):
+                self._repair_grouped(
+                    world, sensors, repair, stray, ux, uy,
+                    candidate_csr, xs, ys, connected, prev_x, prev_y,
                 )
-                # Keep the live coordinate arrays in sync for later repairs.
+        else:
+            with tel.span("cpvf.repair"):
+                for i in repair:
+                    self._repair_blocked(
+                        world, sensors[i], Vec2(float(ux[i]), float(uy[i])),
+                        record_messages=bool(stray[i]),
+                        candidate_csr=candidate_csr,
+                        xs=xs, ys=ys, connected=connected,
+                    )
+                    # Keep the live coordinate arrays in sync for later
+                    # repairs.
+                    pos = sensors[i].position
+                    xs[i] = pos.x
+                    ys[i] = pos.y
+
+    def _repair_grouped(
+        self,
+        world: World,
+        sensors,
+        repair: List[int],
+        stray,
+        ux,
+        uy,
+        candidate_csr,
+        xs,
+        ys,
+        connected,
+        prev_x,
+        prev_y,
+    ) -> None:
+        """Conflict-grouped repair: batch re-ladders over link-disjoint
+        candidates instead of one scalar walk per sensor.
+
+        Greedy edge-coloring over the candidates' required links: a
+        round admits every pending sensor whose link set ({self, parent,
+        children}; the immobile base station is excluded) is disjoint
+        from the links already claimed this round, so an admitted
+        sensor's frozen link positions cannot be invalidated by another
+        admitted sensor's commit.  Admitted sensors are re-laddered with
+        :func:`batched_ladder_steps` against the settled coordinate
+        arrays and committed in one pass (obstacle clipping, oscillation
+        masks and ``previous_position`` handling mirror
+        :meth:`_finish_move` branch for branch); sensors the ladder
+        still blocks take the serialized lock-subtree parent-change
+        handshake one by one, exactly as the ungrouped pass — LockTree /
+        UnLockTree stay charged per attempt, preserving the paper's
+        message accounting.  Deferred sensors (link conflicts) retry in
+        the next round; each round admits at least the first pending
+        sensor, so the loop terminates.
+        """
+        assert self._avoidance is not None
+        config = world.config
+        field = world.field
+        base = world.base_station
+        max_step = config.max_step
+        threshold = self._avoidance.threshold()
+        tel = world.telemetry
+        pending = list(repair)
+        rounds = 0
+        while pending:
+            rounds += 1
+            used: set = set()
+            group: List[int] = []
+            deferred: List[int] = []
+            owners: List[int] = []
+            nodes_list: List[int] = []
+            for i in pending:
+                parent, children = self._link_node_ids(world, i)
+                links = {i, *children}
+                if parent is not None and parent != BASE_STATION_ID:
+                    links.add(parent)
+                if not used.isdisjoint(links):
+                    deferred.append(i)
+                    continue
+                used.update(links)
+                k = len(group)
+                group.append(i)
+                count = 0
+                if parent is not None:
+                    owners.append(k)
+                    nodes_list.append(parent)
+                    count += 1
+                for child in children:
+                    owners.append(k)
+                    nodes_list.append(child)
+                    count += 1
+                if stray[i] and count:
+                    # Stray sensors bypassed the color batches, so their
+                    # per-link state exchange is accounted here — at
+                    # admission, once, like the scalar pass.
+                    world.routing.record_one_hop(
+                        MessageType.NEIGHBOR_STATE, count
+                    )
+            idx = np.asarray(group, dtype=np.intp)
+            pair_owner = np.asarray(owners, dtype=np.intp)
+            nodes = np.asarray(nodes_list, dtype=np.intp)
+            safe_nodes = np.maximum(nodes, 0)
+            link_x = np.where(nodes == BASE_STATION_ID, base.x, xs[safe_nodes])
+            link_y = np.where(nodes == BASE_STATION_ID, base.y, ys[safe_nodes])
+            steps = batched_ladder_steps(
+                xs[idx],
+                ys[idx],
+                ux[idx],
+                uy[idx],
+                max_step,
+                config.communication_range,
+                pair_owner,
+                link_x,
+                link_y,
+            )
+            blocked = steps <= 0.0
+            movers = np.flatnonzero(~blocked)
+            if movers.size:
+                midx = idx[movers]
+                for i in midx.tolist():
+                    # Like _finish_move: a sensor that found a step no
+                    # longer needs the lock grant it was waiting for.
+                    self._pending_locks.pop(i, None)
+                mux, muy = ux[midx], uy[midx]
+                clipped = field.max_free_travel_batch(
+                    xs[midx], ys[midx], mux, muy, steps[movers]
+                )
+                dir_norm = np.hypot(mux, muy)
+                safe = np.where(dir_norm > EPS, dir_norm, 1.0)
+                end_x = np.where(
+                    dir_norm > EPS, xs[midx] + (mux / safe) * clipped, xs[midx]
+                )
+                end_y = np.where(
+                    dir_norm > EPS, ys[midx] + (muy / safe) * clipped, ys[midx]
+                )
+                keep = np.ones(midx.size, dtype=bool)
+                if threshold > 0.0:
+                    if self._avoidance.mode is OscillationMode.ONE_STEP:
+                        keep = ~(clipped < threshold)
+                    else:
+                        keep = ~(
+                            np.hypot(
+                                end_x - prev_x[midx], end_y - prev_y[midx]
+                            )
+                            < threshold
+                        )
+                # _finish_move records the pre-move position as history
+                # for cancelled and committed movers alike.
+                for i in midx.tolist():
+                    sensors[i].previous_position = sensors[i].position
+                cidx = midx[keep]
+                if cidx.size:
+                    cend_x, cend_y = end_x[keep], end_y[keep]
+                    dists = np.hypot(cend_x - xs[cidx], cend_y - ys[cidx])
+                    moves = [
+                        (sensors[i], x, y, d)
+                        for i, x, y, d in zip(
+                            cidx.tolist(),
+                            cend_x.tolist(),
+                            cend_y.tolist(),
+                            dists.tolist(),
+                        )
+                    ]
+                    world.commit_moves(moves)
+                    xs[cidx] = cend_x
+                    ys[cidx] = cend_y
+            for k in np.flatnonzero(blocked).tolist():
+                i = group[k]
+                step = 0.0
+                if self._allow_parent_change:
+                    step = self._try_parent_change_batched(
+                        world, sensors[i],
+                        Vec2(float(ux[i]), float(uy[i])),
+                        candidate_csr, xs, ys, connected,
+                    )
+                if step <= 0.0:
+                    sensors[i].previous_position = sensors[i].position
+                    continue
+                self._finish_move(
+                    world, sensors[i], Vec2(float(ux[i]), float(uy[i])), step
+                )
                 pos = sensors[i].position
                 xs[i] = pos.x
                 ys[i] = pos.y
+            pending = deferred
+        if tel.enabled and rounds:
+            tel.count("cpvf.repair_rounds", rounds)
 
     def _repair_blocked(
         self,

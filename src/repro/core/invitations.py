@@ -22,10 +22,11 @@ traffic a distributed run would generate.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network import ConnectivityTree, MessageType, RoutingCostModel
+from ..network.walks import TreeWalkIndex
 from ..sensors import Sensor
 from .expansion import ExpansionPoint
 
@@ -47,6 +48,14 @@ class InvitationProtocol:
     routing: RoutingCostModel
     ttl: int
     rng: random.Random
+    #: Evaluate a round's tree routes (acceptances + acknowledgements)
+    #: in one level-synchronous batch over flattened parent/depth arrays
+    #: instead of one Python chain walk per message.  The hop counts are
+    #: identical to the scalar walk (pinned by
+    #: ``tests/network/test_tree_walks.py``); ``False`` restores the
+    #: per-message walk.
+    batch_walks: bool = True
+    _walk_cache: Optional[tuple] = field(default=None, init=False, repr=False)
 
     # ------------------------------------------------------------------
     # One round
@@ -115,7 +124,7 @@ class InvitationProtocol:
 
         # 3. Each movable sensor picks its best offer and tries to accept it.
         movable_by_id = {s.sensor_id: s for s in movable_sensors}
-        acceptances: List[Tuple[int, ExpansionPoint]] = []
+        chosen: List[Tuple[int, ExpansionPoint]] = []
         for movable_id, offers in received.items():
             sensor = movable_by_id[movable_id]
             best = min(
@@ -125,6 +134,14 @@ class InvitationProtocol:
                     sensor.position.distance_to(ep.position),
                 ),
             )
+            chosen.append((movable_id, best))
+        # All of the round's acceptance routes evaluated in one batch
+        # (the tree does not mutate within a round).
+        route_hops = self._route_hops(
+            tree, [(mid, ep.owner_id) for mid, ep in chosen]
+        )
+        acceptances: List[Tuple[int, ExpansionPoint, int]] = []
+        for (movable_id, best), hops in zip(chosen, route_hops):
             # AcceptInvitation travels back to the inviter over the tree;
             # every retry re-sends the whole route.
             attempts, delivered = 1, True
@@ -132,16 +149,14 @@ class InvitationProtocol:
                 delivered, attempts = net.exchange(
                     world,
                     ("floor.accept", movable_id, best.owner_id),
-                    max(1, self.routing.tree_route_hops(
-                        tree, movable_id, best.owner_id
-                    )),
+                    max(1, hops),
                 )
             self.routing.record_tree_unicast(
                 tree, movable_id, best.owner_id,
-                MessageType.ACCEPT_INVITATION, attempts=attempts,
+                MessageType.ACCEPT_INVITATION, attempts=attempts, hops=hops,
             )
             if delivered:
-                acceptances.append((movable_id, best))
+                acceptances.append((movable_id, best, hops))
 
         # 4. Inviters acknowledge the first acceptance per EP; later ones are
         #    rejected (their senders will simply try again next period).
@@ -152,20 +167,21 @@ class InvitationProtocol:
         acceptances.sort(
             key=lambda item: (item[1].priority_key(), item[0])
         )
-        for movable_id, ep in acceptances:
+        for movable_id, ep, hops in acceptances:
             ep_key = (ep.owner_id, round(ep.position.x, 6), round(ep.position.y, 6))
+            # The acknowledgement retraces the acceptance route in the
+            # opposite direction; tree routes are symmetric and the tree
+            # is unchanged since step 3, so the hop count carries over.
             attempts, delivered = 1, True
             if lossy:
                 delivered, attempts = net.exchange(
                     world,
                     ("floor.ack", movable_id, ep.owner_id),
-                    max(1, self.routing.tree_route_hops(
-                        tree, ep.owner_id, movable_id
-                    )),
+                    max(1, hops),
                 )
             self.routing.record_tree_unicast(
                 tree, ep.owner_id, movable_id,
-                MessageType.ACKNOWLEDGE, attempts=attempts,
+                MessageType.ACKNOWLEDGE, attempts=attempts, hops=hops,
             )
             if not delivered:
                 # Acknowledgement timed out: the movable sensor never
@@ -183,3 +199,42 @@ class InvitationProtocol:
                 tree, ep.owner_id, MessageType.LOCATION_UPDATE
             )
         return assignments
+
+    # ------------------------------------------------------------------
+    # Batched route evaluation
+    # ------------------------------------------------------------------
+    def _route_hops(
+        self, tree: ConnectivityTree, pairs: List[Tuple[int, int]]
+    ) -> List[int]:
+        """Tree route hops for many ``(source, destination)`` pairs.
+
+        Uses the level-synchronous :class:`TreeWalkIndex` (cached per
+        ``tree.version``) when batching is enabled and the tree's id
+        domain is flattenable; otherwise walks each route with the
+        scalar :meth:`RoutingCostModel.tree_route_hops`.  Both paths
+        return identical hop counts.
+        """
+        if not pairs:
+            return []
+        index = self._walk_index(tree) if self.batch_walks else None
+        if index is None:
+            return [
+                self.routing.tree_route_hops(tree, src, dst)
+                for src, dst in pairs
+            ]
+        return index.route_hops(
+            [src for src, _ in pairs], [dst for _, dst in pairs]
+        ).tolist()
+
+    def _walk_index(self, tree: ConnectivityTree) -> Optional[TreeWalkIndex]:
+        cached = self._walk_cache
+        if (
+            cached is not None
+            and cached[0] is tree
+            and cached[1] == tree.version
+        ):
+            index = cached[2]
+        else:
+            index = TreeWalkIndex(tree)
+            self._walk_cache = (tree, tree.version, index)
+        return None if index.degenerate else index

@@ -13,6 +13,7 @@ from .radio import LINK_EPS, Radio
 from .routing import RoutingCostModel
 from .stats import MessageStats
 from .tree import BASE_STATION_ID, ConnectivityTree
+from .walks import TreeWalkIndex
 
 __all__ = [
     "Message",
@@ -30,4 +31,5 @@ __all__ = [
     "MessageStats",
     "BASE_STATION_ID",
     "ConnectivityTree",
+    "TreeWalkIndex",
 ]

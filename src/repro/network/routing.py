@@ -66,14 +66,19 @@ class RoutingCostModel:
         destination: int,
         message_type: MessageType,
         attempts: int = 1,
+        hops: Optional[int] = None,
     ) -> int:
         """Unicast between two sensors routed over the tree.
 
         The tree route goes up from the source to the lowest common ancestor
         and down to the destination.  ``attempts`` charges the route that
-        many times (lossy-network retransmissions).
+        many times (lossy-network retransmissions).  ``hops`` lets a caller
+        that already computed the route length (the batched invitation
+        round evaluates a whole round's routes at once) skip the per-call
+        chain walk; it must equal ``tree_route_hops`` on the same tree.
         """
-        hops = self.tree_route_hops(tree, source, destination)
+        if hops is None:
+            hops = self.tree_route_hops(tree, source, destination)
         self.stats.record_transmissions(message_type, hops * max(1, attempts))
         return hops
 

@@ -1,0 +1,141 @@
+"""Batched tree-route evaluation for FLOOR's invitation round.
+
+The scalar :meth:`RoutingCostModel.tree_route_hops` materialises both
+endpoints' ancestor chains as Python lists and intersects them — one
+full tree walk per invitation message.  A FLOOR round routes one
+``AcceptInvitation`` and one ``Acknowledge`` per responding sensor, so
+at scale the protocol spends its period walking the same tree thousands
+of times.
+
+:class:`TreeWalkIndex` flattens the tree once per ``tree.version`` into
+parent/depth arrays and answers a whole round's routes level-
+synchronously: all pending routes lift one tree level per iteration
+(deeper endpoint first, classic LCA stepping), so the loop count is the
+tree height, not the number of routes.  The answers are exactly the
+scalar ones — for members, for ids outside the tree (ancestor chain
+``[BASE]``, depth 1, which covers FLOOR's virtual fixed nodes used as
+route endpoints), and for members whose chain passes through a detached
+(dead, off-tree) ancestor.
+
+The index never mutates the tree and is only valid for the
+``tree.version`` it was built at; callers cache it keyed on the version.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tree import BASE_STATION_ID, ConnectivityTree
+
+__all__ = ["TreeWalkIndex"]
+
+#: The id-domain cap is ``_DOMAIN_FACTOR * (members + _DOMAIN_SLACK)``:
+#: the flattened arrays are indexed by raw sensor id, so a pathological
+#: tree holding a huge id (never produced by the schemes — FLOOR's
+#: virtual ids are route endpoints, not members) would force enormous
+#: arrays; such trees mark the index degenerate and callers fall back to
+#: the scalar walk.
+_DOMAIN_FACTOR = 16
+_DOMAIN_SLACK = 1024
+
+
+class TreeWalkIndex:
+    """Flattened parent/depth arrays answering batched route queries."""
+
+    def __init__(self, tree: ConnectivityTree):
+        self.version = tree.version
+        ids = [i for i in tree.parent if i >= 0]
+        ids += [p for p in tree.parent.values() if p >= 0]
+        domain = (max(ids) + 1) if ids else 0
+        cap = _DOMAIN_FACTOR * (len(tree.parent) + _DOMAIN_SLACK)
+        #: ``True`` when the id domain is too sparse to flatten; callers
+        #: must fall back to the scalar per-route walk.
+        self.degenerate = domain > cap
+        if self.degenerate:
+            self._domain = 0
+            self._parent = np.empty(0, dtype=np.int64)
+            self._depth = np.empty(0, dtype=np.int64)
+            return
+        self._domain = domain
+        # One uniform rule reproduces ``ancestors_of`` for every id:
+        # any id without a parent entry — non-members, virtual route
+        # endpoints, detached ancestors — has the chain [BASE], depth 1.
+        parent = np.full(domain, BASE_STATION_ID, dtype=np.int64)
+        for node, par in tree.parent.items():
+            if node >= 0:
+                parent[node] = par
+        depth = np.full(domain, -1, dtype=np.int64)
+        depth[parent == BASE_STATION_ID] = 1
+        unresolved = np.flatnonzero(depth < 0)
+        while unresolved.size:
+            pd = depth[parent[unresolved]]
+            ready = pd >= 0
+            if not ready.any():
+                raise RuntimeError("cycle detected in connectivity tree")
+            depth[unresolved[ready]] = pd[ready] + 1
+            unresolved = unresolved[~ready]
+        self._parent = parent
+        self._depth = depth
+
+    # ------------------------------------------------------------------
+    # Vector chain primitives
+    # ------------------------------------------------------------------
+    def _depths(self, a: np.ndarray) -> np.ndarray:
+        """Per-id hop distance to the base station (base itself is 0)."""
+        d = np.ones(len(a), dtype=np.int64)
+        d[a == BASE_STATION_ID] = 0
+        in_dom = (a >= 0) & (a < self._domain)
+        if in_dom.any():
+            d[in_dom] = self._depth[a[in_dom]]
+        return d
+
+    def _parents(self, a: np.ndarray) -> np.ndarray:
+        """Per-id parent; the base station and out-of-domain ids map to
+        the base station (their chains are exhausted)."""
+        out = np.full(len(a), BASE_STATION_ID, dtype=np.int64)
+        in_dom = (a >= 0) & (a < self._domain)
+        if in_dom.any():
+            out[in_dom] = self._parent[a[in_dom]]
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def depths(self, node_ids: Sequence[int]) -> np.ndarray:
+        """``tree.depth_of`` for many ids at once."""
+        return self._depths(np.asarray(node_ids, dtype=np.int64))
+
+    def route_hops(
+        self, sources: Sequence[int], destinations: Sequence[int]
+    ) -> np.ndarray:
+        """``RoutingCostModel.tree_route_hops`` for many routes at once.
+
+        Level-synchronous LCA stepping: every not-yet-met route lifts its
+        deeper endpoint (both when tied) one level per iteration; all
+        chains end at the base station, so the loop runs at most
+        tree-height times.  The hop count is
+        ``depth(src) + depth(dst) - 2 * depth(meet)`` — identical to the
+        scalar chain intersection, including equal endpoints (0 hops)
+        and non-member endpoints.
+        """
+        u = np.asarray(sources, dtype=np.int64).copy()
+        v = np.asarray(destinations, dtype=np.int64).copy()
+        du = self._depths(u)
+        dv = self._depths(v)
+        hops = du + dv
+        pending = np.flatnonzero(u != v)
+        while pending.size:
+            pu, pv = u[pending], v[pending]
+            pdu, pdv = du[pending], dv[pending]
+            lift_u = pdu >= pdv
+            lift_v = pdv >= pdu
+            iu = pending[lift_u]
+            u[iu] = self._parents(pu[lift_u])
+            du[iu] -= 1
+            iv = pending[lift_v]
+            v[iv] = self._parents(pv[lift_v])
+            dv[iv] -= 1
+            pending = pending[u[pending] != v[pending]]
+        return hops - 2 * du

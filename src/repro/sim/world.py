@@ -219,6 +219,23 @@ class World:
             return rows, cols, d2
         return rows, cols
 
+    def pairs_maintenance_hint(self, extra_radius: float = 0.0) -> str:
+        """``"incremental"`` or ``"rebuild"`` — how the next
+        :meth:`neighbor_pairs` call at this radius will be served (see
+        :meth:`repro.spatial.NeighborCache.pairs_maintenance_hint`).
+        Always ``"rebuild"`` with the cache disabled."""
+        if not self.use_neighbor_cache:
+            return "rebuild"
+        return self._cache().pairs_maintenance_hint(extra_radius)
+
+    def pairs_maintenance_last(self) -> Optional[str]:
+        """Kind of the most recent pair answer ("memo"/"derived"/
+        "serve"/"repair"/"rebuild"/"bypass"), ``None`` before the first
+        request or with the cache disabled."""
+        if not self.use_neighbor_cache or self._neighbor_cache is None:
+            return None
+        return self._neighbor_cache.pair_events["last"]
+
     def neighbor_rows(self, sensor_ids: Sequence[int]) -> Dict[int, List[int]]:
         """Neighbour lists for a subset of sensors (see the cache method).
 

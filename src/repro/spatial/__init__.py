@@ -59,5 +59,12 @@ and are exercised against the fast paths by randomized parity tests under
 from .index import SpatialIndex, pack_positions
 from .cache import NeighborCache
 from .coverage import IncrementalCoverage
+from .pairstore import PairStore
 
-__all__ = ["SpatialIndex", "NeighborCache", "IncrementalCoverage", "pack_positions"]
+__all__ = [
+    "SpatialIndex",
+    "NeighborCache",
+    "IncrementalCoverage",
+    "PairStore",
+    "pack_positions",
+]

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from .index import SpatialIndex, pack_positions
+from .pairstore import PairStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..sim.world import World
@@ -36,6 +37,23 @@ _QUERY_SLACK = 1e-9
 #: radio itself imports this package); the pair queries below must accept
 #: exactly the pairs the neighbour table accepts.
 _LINK_EPS = 1e-9
+
+#: The incremental pair store is generated at ``limit * (1 + fraction)``:
+#: the inflation is the drift slack — sensors may drift up to half of
+#: ``fraction * limit`` from their anchored positions before the store
+#: needs repairing, so at a 60-80 m range a store survives many periods
+#: of ``max_step``-bounded CPVF movement between repairs.
+_STORE_SLACK_FRACTION = 0.2
+
+#: When more than ``max(32, n // _STORE_REBUILD_DIVISOR)`` sensors exceed
+#: their drift budget at once (mass teleport, scenario reset), a fresh
+#: bulk build is cheaper than per-mover probing.
+_STORE_REBUILD_DIVISOR = 8
+
+#: Bound on memoised per-``extra_radius`` pair sets per epoch; call sites
+#: use a handful of radii, so this only guards against an unbounded
+#: sweep of distinct float radii accumulating stale entries.
+_PAIRS_MEMO_LIMIT = 8
 
 
 def pairs_from_table(sensors, table) -> tuple:
@@ -69,6 +87,20 @@ class NeighborCache:
     def __init__(self, world: "World"):
         self._world = world
         self._epoch: Optional[tuple] = None
+        # The incremental pair store survives epoch changes (position
+        # drift is exactly what it absorbs); only population churn or an
+        # explicit invalidate() drops it.
+        self._pair_store: Optional[PairStore] = None
+        #: Cumulative pair-maintenance events plus the kind of the most
+        #: recent ``neighbor_pairs`` answer ("memo" / "derived" /
+        #: "serve" / "repair" / "rebuild" / "bypass").
+        self.pair_events: Dict[str, object] = {
+            "serves": 0,
+            "repairs": 0,
+            "rebuilds": 0,
+            "bypasses": 0,
+            "last": None,
+        }
         self._reset()
 
     def _reset(self) -> None:
@@ -114,8 +146,15 @@ class NeighborCache:
             self._reset()
 
     def invalidate(self) -> None:
-        """Drop all cached structures (next query recomputes)."""
+        """Drop all cached structures (next query recomputes).
+
+        Also drops the incremental pair store: ``invalidate`` is the
+        churn path (``World.add_sensor``/``remove_sensor`` call it), and
+        a population change invalidates the store's anchors wholesale —
+        the next pair request rebuilds from scratch over the survivors.
+        """
         self._epoch = None
+        self._pair_store = None
         self._reset()
 
     # ------------------------------------------------------------------
@@ -201,7 +240,9 @@ class NeighborCache:
         """
         self._validate()
         cached = self._pairs.get(extra_radius)
-        if cached is None:
+        if cached is not None:
+            self._record_pair_event("memo")
+        else:
             # A smaller-radius request nests exactly inside a cached
             # inflated set (homogeneous-range index path only, where the
             # acceptance limit is one scalar).
@@ -215,13 +256,119 @@ class NeighborCache:
                 new_limit = limit - min(larger) + extra_radius
                 keep = d2 <= new_limit * new_limit
                 cached = (rows[keep], cols[keep], d2[keep], new_limit)
+                self._record_pair_event("derived")
             else:
-                cached = self._build_pairs(extra_radius)
+                cached = self._store_pairs(extra_radius)
+                if cached is None:
+                    cached = self._build_pairs(extra_radius)
+                    self._record_pair_event("bypass")
             self._pairs[extra_radius] = cached
+            while len(self._pairs) > _PAIRS_MEMO_LIMIT:
+                # FIFO eviction (dicts preserve insertion order); an
+                # evicted radius is simply recomputed on its next use.
+                self._pairs.pop(next(iter(self._pairs)))
         rows, cols, d2, _ = cached
         if with_d2:
             return rows, cols, d2
         return rows, cols
+
+    def _record_pair_event(self, kind: str) -> None:
+        counter = {
+            "serve": "serves",
+            "repair": "repairs",
+            "rebuild": "rebuilds",
+            "bypass": "bypasses",
+        }.get(kind)
+        if counter is not None:
+            self.pair_events[counter] += 1
+        self.pair_events["last"] = kind
+
+    def _homogeneous_limit(self, extra_radius: float) -> Optional[float]:
+        """The scalar acceptance limit, or ``None`` when ineligible.
+
+        The incremental store (like the nesting reuse) only applies when
+        acceptance is one scalar radius over the full population: indexed
+        radio, no line-of-sight blocking, no dead sensors (positional
+        indices must equal sensor ids for the store's anchors to stay
+        meaningful across epochs), homogeneous communication ranges.
+        """
+        world = self._world
+        sensors = self._alive_sensors()
+        if (
+            not world.radio.use_spatial_index
+            or world.radio.line_of_sight
+            or len(sensors) < 2
+            or len(sensors) != len(world.sensors)
+        ):
+            return None
+        rc_list = [s.communication_range for s in sensors]
+        if min(rc_list) != max(rc_list):
+            return None
+        return max(rc_list) + _LINK_EPS + extra_radius
+
+    @staticmethod
+    def _mover_cap(n: int) -> int:
+        return max(32, n // _STORE_REBUILD_DIVISOR)
+
+    def _store_pairs(self, extra_radius: float) -> Optional[tuple]:
+        """Serve a pair request from the incremental store.
+
+        Returns the usual ``(rows, cols, d2, limit)`` memo entry, or
+        ``None`` when the request is ineligible (the caller falls back
+        to :meth:`_build_pairs`).  Maintains the store: builds it on
+        first use or after churn, repairs it when a few sensors have
+        out-drifted their slack budget, rebuilds it on mass movement.
+        The answer is exact either way — bit-identical to a fresh
+        ``neighbor_pairs_directed`` build (pinned by
+        ``tests/spatial/test_pair_store.py``).
+        """
+        limit = self._homogeneous_limit(extra_radius)
+        if limit is None:
+            return None
+        index = self._spatial_index()
+        x, y = index.xs, index.ys
+        store = self._pair_store
+        movers = None if store is None else store.movers(x, y, limit)
+        if movers is None or len(movers) > self._mover_cap(len(x)):
+            store = PairStore.build(
+                x, y, limit * (1.0 + _STORE_SLACK_FRACTION)
+            )
+            self._pair_store = store
+            self._record_pair_event("rebuild")
+        elif len(movers):
+            store.repair(x, y, movers)
+            self._record_pair_event("repair")
+        else:
+            self._record_pair_event("serve")
+        rows, cols, d2 = store.serve(x, y, limit)
+        return rows, cols, d2, limit
+
+    def pairs_maintenance_hint(self, extra_radius: float = 0.0) -> str:
+        """Predict how the next ``neighbor_pairs`` call will be served.
+
+        ``"incremental"`` when the answer will come from cached state
+        (memo hit, nesting derivation, store serve or store repair);
+        ``"rebuild"`` when a from-scratch pair generation is coming
+        (no store yet, churn, mass movement, or an ineligible world).
+        Side-effect free — the kernel calls it to pick the telemetry
+        span name before issuing the real request.
+        """
+        self._validate()
+        if extra_radius in self._pairs:
+            return "incremental"
+        if any(
+            e > extra_radius and entry[3] is not None
+            for e, entry in self._pairs.items()
+        ):
+            return "incremental"
+        limit = self._homogeneous_limit(extra_radius)
+        if limit is None or self._pair_store is None:
+            return "rebuild"
+        index = self._spatial_index()
+        movers = self._pair_store.movers(index.xs, index.ys, limit)
+        if movers is None or len(movers) > self._mover_cap(index.size):
+            return "rebuild"
+        return "incremental"
 
     def _build_pairs(self, extra_radius: float) -> tuple:
         """Generate one pair set at ``rc + extra_radius`` acceptance."""

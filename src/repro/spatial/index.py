@@ -129,6 +129,16 @@ class SpatialIndex:
         """The packed ``(n, 2)`` position store the index was built over."""
         return self._points
 
+    @property
+    def xs(self) -> np.ndarray:
+        """Contiguous x coordinates in original point order."""
+        return self._x
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Contiguous y coordinates in original point order."""
+        return self._y
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
